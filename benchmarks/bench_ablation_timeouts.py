@@ -1,0 +1,37 @@
+"""Ablation bench: ACK-timeout factor and monitoring mode.
+
+These are the two design decisions DESIGN.md §2 documents; the bench pins
+their measured cost so regressions in either trade-off are caught.
+"""
+
+from repro.extensions.ablations import ack_timeout_ablation, monitoring_mode_ablation
+from repro.experiments.report import render_sweep
+
+from _common import bench_duration, bench_seeds, save_report
+
+
+def run():
+    timeout = ack_timeout_ablation(
+        duration=bench_duration(15.0), seeds=bench_seeds(1), factors=(2.0, 3.0, 4.0)
+    )
+    monitoring = monitoring_mode_ablation(
+        duration=bench_duration(15.0), seeds=bench_seeds(1)
+    )
+    return timeout, monitoring
+
+
+def test_ablations(benchmark):
+    timeout, monitoring = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        render_sweep(timeout, "qos_delivery_ratio")
+        + "\n\n"
+        + render_sweep(monitoring, "qos_delivery_ratio")
+    )
+    save_report("ablations", text)
+    # Patience burns deadline budget: QoS decreases with the factor.
+    qos = timeout.series("DCRD", "qos_delivery_ratio")
+    assert qos[0] >= qos[-1]
+    # Probe-based monitoring costs at most a couple of points.
+    analytic = monitoring.cell("analytic", "DCRD").qos_delivery_ratio
+    sampled = monitoring.cell("sampled", "DCRD").qos_delivery_ratio
+    assert abs(analytic - sampled) < 0.05

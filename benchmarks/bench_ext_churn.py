@@ -1,0 +1,25 @@
+"""Extension bench: subscriber churn under the paper's failure setting."""
+
+from repro.extensions.churn import churn_study
+from repro.experiments.report import render_panels
+
+from _common import bench_duration, bench_seeds, save_report
+
+
+def run():
+    return churn_study(
+        duration=bench_duration(15.0),
+        seeds=bench_seeds(1),
+        churn_rates=(0.0, 2.0, 8.0),
+    )
+
+
+def test_churn(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "ext_churn",
+        render_panels(result, ("delivery_ratio", "qos_delivery_ratio")),
+    )
+    # Churn must not break correctness: delivery stays high at every rate.
+    for rate in result.x_values:
+        assert result.cell(rate, "DCRD").delivery_ratio > 0.95

@@ -1,0 +1,35 @@
+"""Extension bench: FEC redundancy vs duplication vs dynamic rerouting."""
+
+from repro.extensions.fec import fec_study
+from repro.experiments.report import render_panels
+
+from _common import bench_duration, bench_seeds, save_report
+
+
+def run():
+    return fec_study(
+        duration=bench_duration(15.0),
+        seeds=bench_seeds(1),
+        failure_probabilities=(0.0, 0.06, 0.1),
+    )
+
+
+def test_fec(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "ext_fec",
+        render_panels(
+            result,
+            ("delivery_ratio", "qos_delivery_ratio", "traffic_per_subscriber"),
+        ),
+    )
+    worst = result.x_values[-1]
+    fec = result.cell(worst, "FEC")
+    multipath = result.cell(worst, "Multipath")
+    dcrd = result.cell(worst, "DCRD")
+    dtree = result.cell(worst, "D-Tree")
+    # Redundancy beats no redundancy, dynamic rerouting beats both.
+    assert fec.delivery_ratio > dtree.delivery_ratio
+    assert dcrd.delivery_ratio >= fec.delivery_ratio
+    # The (3, 2) code is cheaper in volume than full duplication.
+    assert fec.traffic_per_subscriber < multipath.traffic_per_subscriber

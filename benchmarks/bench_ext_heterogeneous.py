@@ -1,0 +1,34 @@
+"""Extension bench: Theorem 1's ordering under heterogeneous link loss.
+
+With uniform loss (the paper's setting) the d/r sort nearly coincides with
+a delay sort; drawing each link's loss independently makes the two orders
+diverge and measures the theorem's runtime value against the
+delay-only-ordered ablation (``DCRD-naive-order``).
+"""
+
+from repro.extensions.heterogeneous import heterogeneity_study
+from repro.experiments.report import render_panels
+
+from _common import bench_duration, bench_seeds, save_report
+
+
+def run():
+    return heterogeneity_study(
+        duration=bench_duration(20.0),
+        seeds=bench_seeds(2),
+        spreads=((0.1, 0.1), (0.0, 0.3)),
+    )
+
+
+def test_heterogeneity(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "ext_heterogeneous",
+        render_panels(result, ("qos_delivery_ratio", "packets_per_subscriber")),
+    )
+    spread = result.x_values[-1]
+    theorem = result.cell(spread, "DCRD")
+    naive = result.cell(spread, "DCRD-naive-order")
+    # Trying clean links first wastes fewer transmissions.
+    assert theorem.packets_per_subscriber <= naive.packets_per_subscriber
+    assert theorem.qos_delivery_ratio >= naive.qos_delivery_ratio - 0.03

@@ -1,0 +1,27 @@
+"""Extension bench: node failures (the paper's §V future-work study)."""
+
+from repro.extensions.node_failures import node_failure_study
+from repro.experiments.report import render_panels
+
+from _common import bench_duration, bench_seeds, save_report
+
+
+def run():
+    return node_failure_study(
+        duration=bench_duration(15.0),
+        seeds=bench_seeds(1),
+        probabilities=(0.0, 0.02, 0.06),
+    )
+
+
+def test_node_failures(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "ext_node_failures",
+        render_panels(result, ("delivery_ratio", "qos_delivery_ratio")),
+    )
+    worst = result.x_values[-1]
+    dcrd = result.cell(worst, "DCRD")
+    dtree = result.cell(worst, "D-Tree")
+    # DCRD bypasses crashed next-hops like failed links.
+    assert dcrd.delivery_ratio > dtree.delivery_ratio

@@ -1,0 +1,30 @@
+"""Extension bench: priority queueing (EDF / drop-expired) under load."""
+
+from repro.extensions.priority import priority_queueing_study
+from repro.experiments.report import render_sweep
+
+from _common import bench_duration, bench_seeds, save_report
+
+
+def run():
+    return priority_queueing_study(
+        duration=bench_duration(15.0),
+        seeds=bench_seeds(1),
+        publish_intervals=(0.5, 0.0625),
+    )
+
+
+def test_priority_queueing(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n\n".join(
+        render_sweep(results[mode], "qos_delivery_ratio") for mode in results
+    )
+    save_report("ext_priority", text)
+    overload = 0.0625
+    fifo = results["fifo"].cell(overload, "P-DTree")
+    edf = results["edf"].cell(overload, "P-DTree")
+    drop = results["edf+drop"].cell(overload, "P-DTree")
+    # EDF alone cannot beat the overload; dropping expired frames can —
+    # at the price of delivery ratio.
+    assert drop.qos_delivery_ratio > max(fifo.qos_delivery_ratio, edf.qos_delivery_ratio)
+    assert drop.delivery_ratio < edf.delivery_ratio

@@ -1,0 +1,26 @@
+"""Figure 2: full-mesh overlay, failure probability 0 → 0.1.
+
+Paper shapes to reproduce: DCRD and ORACLE deliver ~100% everywhere;
+R-Tree > D-Tree and both degrade with Pf; Multipath in between; R-Tree
+sends exactly 1 packet/subscriber; Multipath sends by far the most.
+"""
+
+from repro.experiments.figures import PANEL_METRICS, figure2
+from repro.experiments.report import render_panels
+
+from _common import bench_duration, bench_seeds, save_report
+
+
+def run():
+    result = figure2(duration=bench_duration(20.0), seeds=bench_seeds(2))
+    save_report("fig2_full_mesh", render_panels(result, PANEL_METRICS))
+    return result
+
+
+def test_figure2(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    dcrd = result.series("DCRD", "delivery_ratio")
+    dtree = result.series("D-Tree", "delivery_ratio")
+    # DCRD keeps delivering as failures rise; the fixed tree does not.
+    assert min(dcrd) > 0.99
+    assert dtree[-1] < 0.95

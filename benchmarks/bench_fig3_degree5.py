@@ -1,0 +1,30 @@
+"""Figure 3: degree-5 overlay, failure probability 0 → 0.1.
+
+Paper shapes: DCRD's delivery ratio stays near the full-mesh case while
+the fixed-path baselines drop several points below their full-mesh
+numbers; DCRD still beats R-Tree/D-Tree/Multipath on QoS delivery.
+"""
+
+from repro.experiments.figures import PANEL_METRICS, figure3
+from repro.experiments.report import render_panels
+
+from _common import bench_duration, bench_seeds, save_report
+
+
+def run():
+    result = figure3(duration=bench_duration(20.0), seeds=bench_seeds(2))
+    save_report("fig3_degree5", render_panels(result, PANEL_METRICS))
+    return result
+
+
+def test_figure3(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    worst_pf = result.x_values[-1]
+    cell = result.cells[worst_pf]
+    assert cell["DCRD"].qos_delivery_ratio > cell["D-Tree"].qos_delivery_ratio
+    assert cell["DCRD"].qos_delivery_ratio > cell["R-Tree"].qos_delivery_ratio
+    # Multipath pays roughly double traffic for its redundancy.
+    assert (
+        cell["Multipath"].packets_per_subscriber
+        > 1.5 * cell["DCRD"].packets_per_subscriber
+    )

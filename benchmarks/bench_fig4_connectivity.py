@@ -1,0 +1,31 @@
+"""Figure 4: node degree 3 → 10 at Pf = 0.06.
+
+Paper shapes: degree >= 5 performs close to the full mesh for DCRD
+(QoS within a few points of ORACLE); at degree 3 every strategy
+collapses because failure-free in-budget paths stop existing.
+"""
+
+from repro.experiments.figures import PANEL_METRICS, figure4
+from repro.experiments.report import render_panels
+
+from _common import bench_duration, bench_seeds, save_report
+
+
+def run():
+    result = figure4(duration=bench_duration(20.0), seeds=bench_seeds(1))
+    save_report("fig4_connectivity", render_panels(result, PANEL_METRICS))
+    return result
+
+
+def test_figure4(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    dcrd = result.series("DCRD", "qos_delivery_ratio")
+    degrees = result.x_values
+    by_degree = dict(zip(degrees, dcrd))
+    # Well-connected overlays approach full-mesh behaviour...
+    assert by_degree[8] > 0.90
+    # ...and sparse ones are strictly harder.
+    assert by_degree[3] < by_degree[8]
+    # DCRD trails the clairvoyant oracle but not by much at high degree.
+    oracle = dict(zip(degrees, result.series("ORACLE", "qos_delivery_ratio")))
+    assert by_degree[10] > oracle[10] - 0.08

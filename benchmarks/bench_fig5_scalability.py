@@ -1,0 +1,38 @@
+"""Figure 5: network size 10 → 160 at degree 8, Pf = 0.06.
+
+Paper shapes: with a fixed degree, all strategies degrade as the overlay
+(and hence path length) grows; DCRD stays within a few points of ORACLE
+while the fixed trees fall away; DCRD's relative traffic overhead grows
+with size (longer detours) but stays below Multipath.
+
+The benchmark's default sizes stop at 80 nodes to keep the run short;
+set ``REPRO_BENCH_FULL_FIG5=1`` for the paper's full {10..160} axis.
+"""
+
+import os
+
+from repro.experiments.figures import NETWORK_SIZES, PANEL_METRICS, figure5
+from repro.experiments.report import render_panels
+
+from _common import bench_duration, bench_seeds, save_report
+
+SIZES = NETWORK_SIZES if os.environ.get("REPRO_BENCH_FULL_FIG5") else (10, 20, 40, 80)
+
+
+def run():
+    result = figure5(
+        duration=bench_duration(10.0), seeds=bench_seeds(1), sizes=SIZES
+    )
+    save_report("fig5_scalability", render_panels(result, PANEL_METRICS))
+    return result
+
+
+def test_figure5(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    sizes = result.x_values
+    dcrd = dict(zip(sizes, result.series("DCRD", "delivery_ratio")))
+    dtree = dict(zip(sizes, result.series("D-Tree", "delivery_ratio")))
+    largest = sizes[-1]
+    # Longer paths hurt the fixed tree far more than DCRD.
+    assert dcrd[largest] > dtree[largest]
+    assert dcrd[largest] > 0.97

@@ -1,0 +1,33 @@
+"""Figure 8: QoS ratio vs packet-loss rate for m = 1 and m = 2 (Pf = 0.01).
+
+Paper shapes: while Pl ≪ Pf, DCRD prefers m = 1 (switching beats futile
+retransmission on a failed link); once Pl grows to ~Pf and beyond, the
+m = 2 budget recovers genuine random losses and the tree/Multipath
+baselines gain 1–2% from retransmissions.
+"""
+
+from repro.experiments.figures import figure8
+from repro.experiments.report import render_sweep
+
+from _common import bench_duration, bench_seeds, save_report
+
+
+def run():
+    return figure8(duration=bench_duration(30.0), seeds=bench_seeds(2))
+
+
+def test_figure8(benchmark):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "\n\n".join(
+        render_sweep(results[m], "qos_delivery_ratio") for m in sorted(results)
+    )
+    save_report("fig8_loss_and_m", text)
+    heavy_loss = 1e-1
+    for name in ("DCRD", "D-Tree"):
+        m1 = dict(zip(results[1].x_values, results[1].series(name, "qos_delivery_ratio")))
+        m2 = dict(zip(results[2].x_values, results[2].series(name, "qos_delivery_ratio")))
+        # Under heavy random loss, the retransmission budget helps everyone.
+        assert m2[heavy_loss] > m1[heavy_loss] - 0.02, name
+    # Loss is the dominant axis: heavy loss hurts m=1 QoS notably.
+    dcrd_m1 = dict(zip(results[1].x_values, results[1].series("DCRD", "qos_delivery_ratio")))
+    assert dcrd_m1[1e-4] > dcrd_m1[1e-1]

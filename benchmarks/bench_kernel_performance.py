@@ -1,0 +1,68 @@
+"""Microbenchmarks of the substrate itself (not a paper figure).
+
+These pin the performance of the three hot paths so regressions show up in
+``--benchmark-compare`` runs: raw event throughput of the kernel, the
+``<d, r>`` fixed-point solver at Figure-5 scale, and one full DCRD run at
+the paper's default scale.
+"""
+
+import numpy as np
+
+from repro.core.computation import compute_dr_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_single
+from repro.overlay.monitor import LinkEstimate
+from repro.overlay.topology import random_regular
+from repro.sim.engine import Simulator
+
+
+def test_event_throughput(benchmark):
+    """Schedule-and-run one million chained events."""
+
+    def run():
+        sim = Simulator()
+        remaining = [200_000]
+
+        def tick():
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                sim.schedule(0.001, tick)
+
+        for _ in range(5):
+            sim.schedule(0.0, tick)
+        sim.run()
+        return sim.processed_events
+
+    events = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert events >= 200_000
+
+
+def test_dr_table_solver_at_scale(benchmark):
+    """One 160-node degree-8 pair solve (Figure 5's hardest setting)."""
+    rng = np.random.default_rng(0)
+    topology = random_regular(160, 8, rng)
+    estimates = {
+        edge: LinkEstimate(alpha=topology.delay(*edge), gamma=0.94)
+        for edge in topology.edges()
+    }
+
+    def run():
+        return compute_dr_table(
+            topology, estimates, publisher=0, subscriber=159, deadline=0.5
+        )
+
+    table = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert table.reachable(0)
+
+
+def test_full_dcrd_run(benchmark):
+    """A complete 20-node DCRD run at the paper's default setting."""
+    config = ExperimentConfig(
+        topology_kind="regular", degree=5, failure_probability=0.06, duration=30.0
+    )
+
+    def run():
+        return run_single(config, "DCRD", seed=0)
+
+    summary = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert summary.delivery_ratio > 0.95

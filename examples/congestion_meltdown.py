@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Congestion meltdown — and the adaptive-timeout fix.
+
+The paper motivates DCRD with "link failures and congestions unpredictably
+occurring at overlay links", but evaluates only failures. This example
+gives links finite capacity (a FIFO serialisation delay per DATA frame)
+and ramps the publish rate through saturation, showing three regimes:
+
+1. **under capacity** — everyone delivers everything;
+2. **near saturation** — queues form; the paper's static ACK timer starts
+   firing on frames that were queued, not lost, and DCRD retransmits and
+   re-routes copies whose originals still arrive: traffic multiplies and
+   QoS collapses while the naive fixed tree just queues politely;
+3. **over capacity** — nobody can win, but the adaptive-timeout variant
+   (`DCRD+adaptive`, a TCP-style Jacobson/Karn RTO) degrades like the
+   tree instead of melting down, and Multipath — which doubles its own
+   offered load — congests first.
+
+Run:
+    python examples/congestion_meltdown.py [--service-time 0.02]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ExperimentConfig, run_comparison
+
+STRATEGIES = ("DCRD", "DCRD+adaptive", "D-Tree", "Multipath")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=12.0)
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument(
+        "--service-time",
+        type=float,
+        default=0.02,
+        help="seconds a DATA frame occupies a link direction (capacity = 1/x)",
+    )
+    args = parser.parse_args()
+
+    capacity = 1.0 / args.service_time
+    print(
+        f"Link capacity: {capacity:.0f} frames/s per direction "
+        f"(service time {args.service_time * 1000:.0f} ms)\n"
+    )
+    print(f"{'load':>12} {'strategy':<15} {'on-time':>8} {'delivered':>10} {'pkts/sub':>9}")
+    for interval in (1.0, 0.25, 0.125, 0.0625):
+        rate = 1.0 / interval
+        config = ExperimentConfig(
+            topology_kind="regular",
+            degree=5,
+            num_nodes=20,
+            num_topics=8,
+            publish_interval=interval,
+            failure_probability=0.0,
+            link_service_time=args.service_time,
+            duration=args.duration,
+        )
+        results = run_comparison(config, seed=args.seed, strategies=STRATEGIES)
+        for name in STRATEGIES:
+            summary = results[name]
+            print(
+                f"{rate:>8.0f} p/s {name:<15} {summary.qos_delivery_ratio:>8.1%} "
+                f"{summary.delivery_ratio:>10.1%} "
+                f"{summary.packets_per_subscriber:>9.2f}"
+            )
+        print()
+
+    print(
+        "Takeaway: rerouting on ACK silence treats queueing as failure. The\n"
+        "paper's static timer turns moderate congestion into a retransmit\n"
+        "storm; estimating the round trip (DCRD+adaptive) restores sanity\n"
+        "while keeping DCRD's failure-bypassing behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Embedding DCRD as a library: the PubSubSystem façade.
+
+The other examples drive the experiment harness; this one shows the API a
+downstream application would use — named topics, payloads, delivery
+callbacks — on a small overlay with live failures, including a subscriber
+that joins mid-stream and another that leaves.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.system import Delivery, PubSubSystem
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--pf", type=float, default=0.1)
+    args = parser.parse_args()
+
+    system = PubSubSystem.build(
+        num_nodes=12, degree=4, seed=args.seed, failure_probability=args.pf
+    )
+
+    log = []
+
+    def listener(name: str):
+        def callback(delivery: Delivery) -> None:
+            log.append(
+                f"  t={delivery.delivery_time:7.3f}s  {name} <- "
+                f"{delivery.topic}: {delivery.payload!r} "
+                f"({delivery.delay * 1000:.1f} ms)"
+            )
+
+        return callback
+
+    system.add_topic("positions", publisher=0, publish_interval=0.5)
+    system.subscribe("positions", node=5, deadline=0.5, callback=listener("ops-east"))
+    system.subscribe("positions", node=9, deadline=0.5, callback=listener("ops-west"))
+
+    # Manual publishes with payloads.
+    for step in range(4):
+        system.publish("positions", payload={"seq": step, "x": 10 * step})
+        system.run(until=system.now + 0.5)
+
+    # A consumer joins mid-stream...
+    system.subscribe("positions", node=2, deadline=0.5, callback=listener("archiver"))
+    for step in range(4, 7):
+        system.publish("positions", payload={"seq": step, "x": 10 * step})
+        system.run(until=system.now + 0.5)
+
+    # ...and one leaves.
+    system.unsubscribe("positions", node=9)
+    for step in range(7, 9):
+        system.publish("positions", payload={"seq": step, "x": 10 * step})
+        system.run(until=system.now + 0.5)
+
+    print("\n".join(log))
+    summary = system.summary()
+    print(
+        f"\n{summary.delivered}/{summary.expected_deliveries} deliveries "
+        f"({summary.qos_delivery_ratio:.1%} within deadline) despite "
+        f"Pf={args.pf} transient link failures; "
+        f"{summary.packets_per_subscriber:.2f} packets/subscriber."
+    )
+
+
+if __name__ == "__main__":
+    main()

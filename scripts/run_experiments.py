@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper and dump the tables.
+
+This is the driver behind EXPERIMENTS.md: it runs Figures 2–8 (plus the
+extension studies) at a configurable scale and writes all tables to
+``results/`` (and stdout). The paper's full scale is
+``--duration 7200 --repetitions 10``; the EXPERIMENTS.md numbers were
+recorded with the defaults below, which keep the wall-clock in the
+tens-of-minutes range on one core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import figures
+from repro.experiments.figures import PANEL_METRICS
+from repro.experiments.report import render_cdf, render_panels, render_sweep
+from repro.experiments.validation import FIGURE_CHECKS, render_outcomes, verify_figure
+from repro.extensions.ablations import ack_timeout_ablation, monitoring_mode_ablation
+from repro.extensions.churn import churn_study
+from repro.extensions.congestion import congestion_study
+from repro.extensions.fec import fec_study
+from repro.extensions.heterogeneous import heterogeneity_study
+from repro.extensions.node_failures import node_failure_study
+from repro.extensions.priority import priority_queueing_study
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=Path("results"))
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="subset of {fig2..fig8,ablations,nodes,congestion} to run",
+    )
+    args = parser.parse_args()
+    args.out.mkdir(exist_ok=True)
+    seeds = tuple(range(args.repetitions))
+    wanted = set(args.only) if args.only else None
+
+    def progress(line: str) -> None:
+        print(f"    …{line}", file=sys.stderr)
+
+    def emit(name: str, text: str) -> None:
+        (args.out / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}")
+
+    def should(name: str) -> bool:
+        return wanted is None or name in wanted
+
+    verdicts = []
+
+    def check(figure: str, result) -> None:
+        if figure in FIGURE_CHECKS:
+            outcomes = verify_figure(figure, result)
+            verdicts.extend(outcomes)
+            print(render_outcomes(outcomes))
+
+    start = time.time()
+    if should("fig2"):
+        result = figures.figure2(args.duration, seeds, progress=progress)
+        emit("fig2", render_panels(result, PANEL_METRICS))
+        check("figure2", result)
+    if should("fig3"):
+        result = figures.figure3(args.duration, seeds, progress=progress)
+        emit("fig3", render_panels(result, PANEL_METRICS))
+        check("figure3", result)
+    if should("fig4"):
+        result = figures.figure4(args.duration, seeds, progress=progress)
+        emit("fig4", render_panels(result, PANEL_METRICS))
+        check("figure4", result)
+    if should("fig5"):
+        result = figures.figure5(
+            max(args.duration / 2, 10.0), seeds[: max(1, len(seeds) - 1)],
+            progress=progress,
+        )
+        emit("fig5", render_panels(result, PANEL_METRICS))
+        check("figure5", result)
+    if should("fig6"):
+        result = figures.figure6(args.duration, seeds, progress=progress)
+        emit("fig6", render_sweep(result, "qos_delivery_ratio"))
+        check("figure6", result)
+    if should("fig7"):
+        curves = figures.figure7(max(args.duration, 120.0), seeds, progress=progress)
+        emit("fig7", render_cdf(curves))
+        check("figure7", curves)
+    if should("fig8"):
+        results = figures.figure8(args.duration, seeds, progress=progress)
+        text = "\n\n".join(
+            render_sweep(results[m], "qos_delivery_ratio") for m in sorted(results)
+        )
+        emit("fig8", text)
+        check("figure8", results)
+    if should("ablations"):
+        result = monitoring_mode_ablation(args.duration / 2, seeds, progress=progress)
+        emit("ablation_monitoring", render_sweep(result, "qos_delivery_ratio"))
+        result = ack_timeout_ablation(args.duration / 2, seeds, progress=progress)
+        text = (
+            render_sweep(result, "qos_delivery_ratio")
+            + "\n\n"
+            + render_sweep(result, "packets_per_subscriber")
+        )
+        emit("ablation_ack_timeout", text)
+    if should("nodes"):
+        result = node_failure_study(args.duration / 2, seeds, progress=progress)
+        emit(
+            "extension_node_failures",
+            render_panels(result, ("delivery_ratio", "qos_delivery_ratio")),
+        )
+    if should("congestion"):
+        result = congestion_study(args.duration / 3, seeds, progress=progress)
+        emit(
+            "extension_congestion",
+            render_panels(
+                result, ("qos_delivery_ratio", "packets_per_subscriber")
+            ),
+        )
+    if should("churn"):
+        result = churn_study(args.duration / 2, seeds, progress=progress)
+        emit(
+            "extension_churn",
+            render_panels(result, ("delivery_ratio", "qos_delivery_ratio")),
+        )
+    if should("fec"):
+        result = fec_study(args.duration / 2, seeds, progress=progress)
+        emit(
+            "extension_fec",
+            render_panels(
+                result,
+                ("delivery_ratio", "qos_delivery_ratio", "traffic_per_subscriber"),
+            ),
+        )
+    if should("priority"):
+        results = priority_queueing_study(args.duration / 2, seeds, progress=progress)
+        text = "\n\n".join(
+            render_sweep(results[mode], "qos_delivery_ratio")
+            + "\n"
+            + render_sweep(results[mode], "delivery_ratio")
+            for mode in results
+        )
+        emit("extension_priority", text)
+    if should("heterogeneous"):
+        result = heterogeneity_study(args.duration / 2, seeds, progress=progress)
+        emit(
+            "extension_heterogeneous",
+            render_panels(
+                result,
+                ("qos_delivery_ratio", "packets_per_subscriber", "mean_delay"),
+            ),
+        )
+    print(f"\nTotal wall-clock: {time.time() - start:.0f}s", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

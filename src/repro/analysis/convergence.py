@@ -1,0 +1,82 @@
+"""Control-plane convergence study.
+
+The ``<d, r>`` recursion (§III-B) is solved by repeated local updates; the
+paper never reports how fast it settles. This module measures it: rounds to
+convergence of :func:`repro.core.computation.compute_dr_table` across the
+(topic, subscriber) pairs of a workload, which bounds the time the
+distributed protocol needs after a subscription or a monitoring refresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.computation import compute_dr_table
+from repro.overlay.monitor import LinkMonitor
+from repro.overlay.topology import Topology
+from repro.pubsub.topics import Workload
+
+
+@dataclass(frozen=True)
+class ConvergenceReport:
+    """Rounds-to-convergence statistics over all workload pairs."""
+
+    pairs: int
+    all_converged: bool
+    mean_rounds: float
+    max_rounds: int
+    reachable_fraction: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for reports and JSON dumps."""
+        return {
+            "pairs": self.pairs,
+            "all_converged": self.all_converged,
+            "mean_rounds": self.mean_rounds,
+            "max_rounds": self.max_rounds,
+            "reachable_fraction": self.reachable_fraction,
+        }
+
+
+def convergence_report(
+    topology: Topology,
+    monitor: LinkMonitor,
+    workload: Workload,
+    m: int = 1,
+) -> ConvergenceReport:
+    """Solve every pair's recursion and summarise convergence behaviour."""
+    estimates = monitor.estimates()
+    rounds: List[int] = []
+    converged: List[bool] = []
+    reachable: List[bool] = []
+    for spec in workload.topics:
+        for sub in spec.subscriptions:
+            table = compute_dr_table(
+                topology,
+                estimates,
+                publisher=spec.publisher,
+                subscriber=sub.node,
+                deadline=sub.deadline,
+                m=m,
+            )
+            rounds.append(table.rounds)
+            converged.append(table.converged)
+            reachable.append(table.reachable(spec.publisher))
+    if not rounds:
+        return ConvergenceReport(
+            pairs=0,
+            all_converged=True,
+            mean_rounds=0.0,
+            max_rounds=0,
+            reachable_fraction=1.0,
+        )
+    return ConvergenceReport(
+        pairs=len(rounds),
+        all_converged=all(converged),
+        mean_rounds=float(np.mean(rounds)),
+        max_rounds=int(max(rounds)),
+        reachable_fraction=float(np.mean(reachable)),
+    )

@@ -1,0 +1,86 @@
+"""Route stretch: how far off the shortest path did deliveries travel?
+
+DCRD's rerouting buys reliability with extra hops — a packet that bounces
+off a failed branch travels strictly more overlay links than the shortest
+path. The *stretch* of a delivery is its actual hop count divided by the
+shortest hop count between publisher and subscriber; a fixed tree always
+has stretch very close to 1 (it either takes its one path or loses the
+packet), while DCRD's stretch distribution quantifies the detour cost that
+shows up as the traffic gap in the paper's Figures 2c–5c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.metrics.collector import MetricsCollector
+from repro.overlay.topology import Topology
+from repro.pubsub.topics import Workload
+
+
+@dataclass(frozen=True)
+class StretchReport:
+    """Distribution summary of per-delivery route stretch."""
+
+    samples: int
+    mean: Optional[float]
+    p50: Optional[float]
+    p95: Optional[float]
+    max: Optional[float]
+    fraction_direct: Optional[float]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for reports and JSON dumps."""
+        return {
+            "samples": self.samples,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.max,
+            "fraction_direct": self.fraction_direct,
+        }
+
+
+def delivery_stretches(
+    collector: MetricsCollector,
+    topology: Topology,
+    workload: Workload,
+) -> List[float]:
+    """Per-delivery ``hops / shortest_hops`` for every recorded delivery."""
+    publisher_of = {spec.topic: spec.publisher for spec in workload.topics}
+    stretches: List[float] = []
+    for outcome in collector.outcomes():
+        if outcome.hops is None or outcome.hops == 0:
+            continue
+        publisher = publisher_of[outcome.topic]
+        if publisher == outcome.subscriber:
+            continue
+        baseline = topology.shortest_hops(publisher, outcome.subscriber)
+        if baseline > 0:
+            stretches.append(outcome.hops / baseline)
+    return stretches
+
+
+def stretch_report(
+    collector: MetricsCollector,
+    topology: Topology,
+    workload: Workload,
+) -> StretchReport:
+    """Summarise the stretch distribution of one finished run."""
+    stretches = delivery_stretches(collector, topology, workload)
+    if not stretches:
+        return StretchReport(
+            samples=0, mean=None, p50=None, p95=None, max=None, fraction_direct=None
+        )
+    values = np.asarray(stretches)
+    return StretchReport(
+        samples=len(stretches),
+        mean=float(values.mean()),
+        p50=float(np.quantile(values, 0.5)),
+        p95=float(np.quantile(values, 0.95)),
+        max=float(values.max()),
+        fraction_direct=float(np.mean(values <= 1.0 + 1e-9)),
+    )

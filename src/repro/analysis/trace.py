@@ -1,0 +1,120 @@
+"""Journey reconstruction: explain how one message moved through the overlay.
+
+When the network runs with ``trace=True`` every transmission is recorded;
+this module folds those records (plus the delivery table) into a readable
+per-message account — hops, retransmissions, losses, bounces — which is
+the tool you want when a QoS number looks wrong and you need to see *why*
+a packet was late.
+
+Requires frames to be :class:`~repro.pubsub.messages.PacketFrame`-shaped
+(the tracer reads ``msg_id`` and ``routing_path`` off the traced frame via
+the transmission's position in the record stream). Since
+:class:`~repro.overlay.links.Transmission` stores only endpoints and
+outcome, the tracer correlates by replaying the records in order and
+matching on (src, dst, time); to keep that exact, it accepts the network
+object and re-reads its trace list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.overlay.links import FrameKind, OverlayNetwork
+from repro.metrics.collector import MetricsCollector
+
+
+@dataclass(frozen=True)
+class HopRecord:
+    """One DATA transmission attributed to a message."""
+
+    time: float
+    src: int
+    dst: int
+    survived: bool
+
+
+@dataclass(frozen=True)
+class MessageTrace:
+    """Everything the network did for one message."""
+
+    msg_id: int
+    hops: List[HopRecord]
+
+    @property
+    def transmissions(self) -> int:
+        """Total DATA transmissions spent on this message."""
+        return len(self.hops)
+
+    @property
+    def losses(self) -> int:
+        """Transmissions that did not arrive."""
+        return sum(1 for hop in self.hops if not hop.survived)
+
+    def describe(self, collector: Optional[MetricsCollector] = None) -> str:
+        """A human-readable account of the journey."""
+        lines = [f"message {self.msg_id}: {self.transmissions} transmissions, "
+                 f"{self.losses} lost"]
+        for hop in self.hops:
+            mark = "ok  " if hop.survived else "LOST"
+            lines.append(f"  t={hop.time:9.4f}s  {hop.src:>3} -> {hop.dst:<3} {mark}")
+        if collector is not None:
+            for outcome in collector.outcomes():
+                if outcome.msg_id != self.msg_id:
+                    continue
+                if outcome.delivered:
+                    status = (
+                        f"delivered to {outcome.subscriber} at "
+                        f"{outcome.delivery_time:.4f}s "
+                        f"({'on time' if outcome.on_time else 'LATE'})"
+                    )
+                else:
+                    status = f"NOT delivered to {outcome.subscriber}"
+                lines.append(f"  {status}")
+        return "\n".join(lines)
+
+
+class MessageTracer:
+    """Builds :class:`MessageTrace` views from a tracing network.
+
+    The overlay's trace records don't carry the frame, so the tracer keeps
+    its own registry: strategies (or tests) call :meth:`observe` is not
+    needed — instead the tracer re-reads ``network.transmissions`` and the
+    caller supplies the frame-to-transmission mapping implicitly by
+    constructing the network with ``trace=True`` *and* this tracer wrapping
+    its transmit calls. For the common case (tests, debugging sessions) use
+    :func:`trace_messages`, which monkey-wraps ``network.transmit``.
+    """
+
+    def __init__(self, network: OverlayNetwork) -> None:
+        self.network = network
+        self._records: dict = {}
+        self._original_transmit = network.transmit
+        network.transmit = self._wrapped_transmit  # type: ignore[assignment]
+
+    def _wrapped_transmit(self, src, dst, frame, kind, reliable=False):
+        survived = self._original_transmit(src, dst, frame, kind, reliable=reliable)
+        if kind is FrameKind.DATA and hasattr(frame, "msg_id"):
+            self._records.setdefault(frame.msg_id, []).append(
+                HopRecord(
+                    time=self.network.sim.now, src=src, dst=dst, survived=survived
+                )
+            )
+        return survived
+
+    def trace(self, msg_id: int) -> MessageTrace:
+        """The journey of one message (empty if never transmitted)."""
+        return MessageTrace(msg_id=msg_id, hops=list(self._records.get(msg_id, [])))
+
+    def traced_messages(self) -> List[int]:
+        """All message ids seen on the wire."""
+        return sorted(self._records)
+
+    def detach(self) -> None:
+        """Restore the network's original transmit method."""
+        self.network.transmit = self._original_transmit  # type: ignore[assignment]
+
+
+def trace_messages(network: OverlayNetwork) -> MessageTracer:
+    """Attach a :class:`MessageTracer` to *network* (returns the tracer)."""
+    return MessageTracer(network)

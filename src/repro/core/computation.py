@@ -1,0 +1,270 @@
+"""The distributed ``<d, r>`` recursion (Eq. 2 and Eq. 3) and its solver.
+
+The paper seeds the recursion at the subscriber (``<0, 1>``) and lets every
+broker recompute its own ``<d_X, r_X>`` from its neighbours' advertised
+values, filtered by the delay budget and ordered by Theorem 1. We solve the
+same recursion with synchronous (Jacobi) rounds: round ``k`` recomputes all
+nodes from the round ``k-1`` values, which mirrors the hop-by-hop gossip of
+the distributed protocol and is deterministic. Cyclic dependencies (two
+brokers on each other's sending lists) are permitted, exactly as in the
+paper; ``r`` converges monotonically from below and ``d`` stabilises within
+a few diameters in practice, with a hard round bound as a backstop.
+
+The result, a :class:`DrTable`, is the per-(publisher, subscriber) control
+state: each node's ``<d, r>`` plus its ordered sending list.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.linkmath import link_params_m
+from repro.core.sending_list import order_sending_list
+from repro.overlay.monitor import LinkEstimate
+from repro.overlay.topology import Edge, Topology, canonical_edge
+from repro.util.validation import require, require_positive
+
+
+@dataclass(frozen=True)
+class ViaNeighbor:
+    """Eq. 2 values for reaching the subscriber via one neighbour.
+
+    ``d_via = alpha_Xi + d_i`` and ``r_via = gamma_Xi * r_i``, where the
+    link parameters are the m-transmission values of Eq. 1.
+    """
+
+    neighbor: int
+    d_via: float
+    r_via: float
+
+
+@dataclass(frozen=True)
+class NodeState:
+    """One broker's control state for one (publisher, subscriber) pair."""
+
+    d: float
+    r: float
+    sending_list: Tuple[ViaNeighbor, ...]
+
+    @property
+    def neighbor_order(self) -> Tuple[int, ...]:
+        """Sending-list neighbour ids, in Theorem 1 order."""
+        return tuple(via.neighbor for via in self.sending_list)
+
+
+def aggregate_dr(vias: Sequence[ViaNeighbor]) -> Tuple[float, float]:
+    """Eq. 3: fold an *ordered* sending list into ``(d_X, r_X)``.
+
+    An empty list yields ``(inf, 0)``: the broker cannot reach the
+    subscriber within budget through anyone.
+    """
+    survive = 1.0  # probability all neighbours tried so far failed
+    weighted = 0.0
+    cumulative_delay = 0.0
+    for via in vias:
+        cumulative_delay += via.d_via
+        weighted += cumulative_delay * via.r_via * survive
+        survive *= 1.0 - via.r_via
+    r = 1.0 - survive
+    if r <= 0.0:
+        return float("inf"), 0.0
+    return weighted / r, r
+
+
+@dataclass
+class DrTable:
+    """Control state of all brokers for one (publisher, subscriber) pair."""
+
+    publisher: int
+    subscriber: int
+    deadline: float
+    states: Dict[int, NodeState]
+    budgets: Dict[int, float]
+    rounds: int
+    converged: bool
+
+    def state(self, node: int) -> NodeState:
+        """The :class:`NodeState` of *node*."""
+        return self.states[node]
+
+    def sending_list(self, node: int) -> Tuple[int, ...]:
+        """Ordered candidate next hops of *node* for this subscriber."""
+        return self.states[node].neighbor_order
+
+    def budget(self, node: int) -> float:
+        """``D_XS``: the remaining delay requirement at *node*."""
+        return self.budgets[node]
+
+    def reachable(self, node: int) -> bool:
+        """Whether *node* expects to deliver within budget at all."""
+        return self.states[node].r > 0.0
+
+
+def _estimate_weight_graph(
+    topology: Topology, estimates: Mapping[Edge, LinkEstimate]
+) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_nodes_from(topology.nodes)
+    for edge in topology.edges():
+        graph.add_edge(*edge, weight=estimates[edge].alpha)
+    return graph
+
+
+def compute_dr_table(
+    topology: Topology,
+    estimates: Mapping[Edge, LinkEstimate],
+    publisher: int,
+    subscriber: int,
+    deadline: float,
+    m: int = 1,
+    max_rounds: Optional[int] = None,
+    tol: float = 1e-9,
+) -> DrTable:
+    """Solve the ``<d, r>`` recursion for one (publisher, subscriber) pair.
+
+    Parameters
+    ----------
+    topology:
+        The overlay graph.
+    estimates:
+        Per-link :class:`LinkEstimate` beliefs from the monitor.
+    publisher / subscriber:
+        Broker ids of the pair.
+    deadline:
+        ``D_PS``, the end-to-end delay requirement in seconds.
+    m:
+        Per-link transmission budget (Eq. 1).
+    max_rounds:
+        Hard bound on Jacobi rounds; default ``max(64, 2 * num_nodes)``
+        (cyclic feedback damps geometrically, so the constant floor covers
+        small graphs with weak links).
+    tol:
+        Convergence threshold on the max change of any ``d`` or ``r``.
+    """
+    require(m >= 1, f"m must be >= 1, got {m}")
+    require_positive(deadline, "deadline")
+    num_nodes = topology.num_nodes
+    if max_rounds is None:
+        max_rounds = max(64, 2 * num_nodes)
+
+    # Remaining budget at each broker: D_XS = D_PS - shortest_delay(P, X),
+    # with shortest delays taken over the monitor's alpha estimates.
+    weight_graph = _estimate_weight_graph(topology, estimates)
+    dist_from_publisher = nx.single_source_dijkstra_path_length(
+        weight_graph, publisher, weight="weight"
+    )
+    budgets = {
+        node: deadline - dist_from_publisher.get(node, float("inf"))
+        for node in topology.nodes
+    }
+
+    # Per-link m-transmission parameters (Eq. 1), symmetric.
+    link_m: Dict[Edge, Tuple[float, float]] = {}
+    for edge in topology.edges():
+        estimate = estimates[edge]
+        link_m[edge] = link_params_m(estimate.alpha, estimate.gamma, m)
+
+    num = topology.num_nodes
+    inf = float("inf")
+    d: List[float] = [inf] * num
+    r: List[float] = [0.0] * num
+    d[subscriber], r[subscriber] = 0.0, 1.0
+
+    # Pre-resolve each node's usable links once: (neighbor, alpha_m, gamma_m)
+    # with dead links (gamma 0 / alpha inf) dropped up front.
+    links_of: List[List[Tuple[int, float, float]]] = [[] for _ in range(num)]
+    for node in topology.nodes:
+        entries = links_of[node]
+        for neighbor in topology.neighbors(node):
+            alpha_m, gamma_m = link_m[canonical_edge(node, neighbor)]
+            if math.isfinite(alpha_m) and gamma_m > 0.0:
+                entries.append((neighbor, alpha_m, gamma_m))
+
+    budget_of: List[float] = [budgets[node] for node in topology.nodes]
+
+    def recompute(node: int) -> Tuple[float, float]:
+        """One Eq. 2 + Theorem 1 + Eq. 3 evaluation from current d/r."""
+        budget = budget_of[node]
+        candidates: List[Tuple[float, int, float, float]] = []
+        for neighbor, alpha_m, gamma_m in links_of[node]:
+            d_i = d[neighbor]
+            # Algorithm 1 line 4: neighbour must expect delivery within the
+            # remaining budget; hopeless neighbours cannot help either.
+            r_i = r[neighbor]
+            if not (d_i < budget) or r_i <= 0.0:
+                continue
+            d_via = alpha_m + d_i
+            r_via = gamma_m * r_i
+            candidates.append((d_via / r_via, neighbor, d_via, r_via))
+        if not candidates:
+            return inf, 0.0
+        candidates.sort()
+        survive = 1.0
+        weighted = 0.0
+        cumulative = 0.0
+        for _, _, d_via, r_via in candidates:
+            cumulative += d_via
+            weighted += cumulative * r_via * survive
+            survive *= 1.0 - r_via
+        r_x = 1.0 - survive
+        if r_x <= 0.0:
+            return inf, 0.0
+        return weighted / r_x, r_x
+
+    rounds = 0
+    converged = False
+    # Jacobi with dirty-set propagation: a node is recomputed only when one
+    # of its neighbours changed in the previous round. Round 1 touches all.
+    dirty = set(topology.nodes) - {subscriber}
+    neighbors_of = [topology.neighbors(node) for node in topology.nodes]
+    while rounds < max_rounds and dirty:
+        rounds += 1
+        updates: List[Tuple[int, float, float]] = []
+        for node in dirty:
+            new_d, new_r = recompute(node)
+            old_d, old_r = d[node], r[node]
+            if abs(new_r - old_r) > tol:
+                updates.append((node, new_d, new_r))
+            elif math.isinf(new_d) != math.isinf(old_d):
+                updates.append((node, new_d, new_r))
+            elif math.isfinite(new_d) and abs(new_d - old_d) > tol:
+                updates.append((node, new_d, new_r))
+        dirty = set()
+        for node, new_d, new_r in updates:
+            d[node], r[node] = new_d, new_r
+            dirty.update(neighbors_of[node])
+        dirty.discard(subscriber)
+        if not updates:
+            converged = True
+            break
+    if not converged and not dirty:
+        converged = True
+
+    def final_vias(node: int) -> Tuple[ViaNeighbor, ...]:
+        budget = budget_of[node]
+        vias = []
+        for neighbor, alpha_m, gamma_m in links_of[node]:
+            d_i, r_i = d[neighbor], r[neighbor]
+            if not (d_i < budget) or r_i <= 0.0:
+                continue
+            vias.append(ViaNeighbor(neighbor, alpha_m + d_i, gamma_m * r_i))
+        ordered = order_sending_list([(v.neighbor, v.d_via, v.r_via) for v in vias])
+        return tuple(ViaNeighbor(*item) for item in ordered)
+
+    states = {}
+    for node in topology.nodes:
+        vias = () if node == subscriber else final_vias(node)
+        states[node] = NodeState(d=d[node], r=r[node], sending_list=vias)
+    return DrTable(
+        publisher=publisher,
+        subscriber=subscriber,
+        deadline=deadline,
+        states=states,
+        budgets=budgets,
+        rounds=rounds,
+        converged=converged,
+    )

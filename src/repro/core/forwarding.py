@@ -1,0 +1,245 @@
+"""DCRD forwarding: Algorithms 1 and 2 as an event-driven strategy.
+
+Algorithm 1 (routing setup) runs at :meth:`DcrdStrategy.setup` and again
+after every link-monitoring cycle: for every (topic, subscriber) pair the
+strategy solves the ``<d, r>`` recursion and stores the resulting
+:class:`~repro.core.computation.DrTable` (per-broker sending lists in
+Theorem 1 order).
+
+Algorithm 2 (the per-packet while loop) cannot block in a discrete-event
+world, so each received packet becomes a :class:`_DeliveryTask` — a state
+machine at broker ``X`` holding:
+
+* ``pending`` — destinations not yet acknowledged downstream (the paper's
+  ``flag[i] = 0`` set);
+* ``failed_neighbors`` — neighbours that exhausted their ``m``-transmission
+  budget within this task (the "X has tried" memory of the while loop).
+
+Dispatch groups pending destinations by their next hop — the first node on
+each destination's sending list that is neither on the routing path nor
+already failed (lines 8–19) — and sends one copy per distinct hop through
+the shared ARQ layer. An ACK flags the copy's destinations done (lines
+23–26); an ARQ failure marks the neighbour failed and re-dispatches its
+destinations. A destination with no qualified next hop is bounced to the
+upstream broker read from the routing path (lines 10–12); when even that is
+impossible (the broker is the origin, or the upstream link failed too) the
+destination is abandoned and recorded as given up.
+
+Receiving a bounced packet simply starts a new task at the upstream broker —
+"the upstream node running the same DCRD algorithm tries the next node on
+its sending list" (§III) falls out naturally because the bounced copy's
+routing path disqualifies everything already explored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.core.computation import DrTable, compute_dr_table
+from repro.pubsub.messages import AckFrame, PacketFrame
+from repro.pubsub.topics import TopicSpec
+from repro.routing.arq import ArqSender
+from repro.routing.base import RoutingStrategy, RuntimeContext
+
+
+class _DeliveryTask:
+    """Algorithm 2 running for one received packet copy at one broker."""
+
+    __slots__ = (
+        "strategy",
+        "node",
+        "frame",
+        "pending",
+        "failed_neighbors",
+        "upstream",
+        "_hop_of_copy",
+    )
+
+    def __init__(self, strategy: "DcrdStrategy", node: int, frame: PacketFrame) -> None:
+        self.strategy = strategy
+        self.node = node
+        self.frame = frame
+        self.pending: Set[int] = set(frame.destinations)
+        self.failed_neighbors: Set[int] = set()
+        self.upstream = frame.upstream_of(node)
+        self._hop_of_copy: Dict[int, int] = {}
+        self._dispatch(set(self.pending))
+
+    # ------------------------------------------------------------------
+    def _next_hop(self, subscriber: int) -> Optional[int]:
+        """Lines 9–12: first qualified node, else the upstream broker."""
+        path = self.frame.routing_path
+        sending_list = self.strategy.sending_list(self.frame.topic, subscriber, self.node)
+        for candidate in sending_list:
+            if candidate in path or candidate in self.failed_neighbors:
+                continue
+            if candidate == self.node:
+                continue
+            return candidate
+        upstream = self.upstream
+        if upstream >= 0 and upstream not in self.failed_neighbors:
+            return upstream
+        return None
+
+    def _dispatch(self, subscribers: Set[int]) -> None:
+        """Assign each pending destination to a next hop and send copies."""
+        groups: Dict[int, Set[int]] = {}
+        for subscriber in subscribers:
+            if subscriber not in self.pending:
+                continue
+            hop = self._next_hop(subscriber)
+            if hop is None:
+                self.pending.discard(subscriber)
+                self.strategy.abandon(self.node, self.frame, subscriber)
+                continue
+            groups.setdefault(hop, set()).add(subscriber)
+        for hop, dests in groups.items():
+            copy = self.frame.forwarded(self.node, frozenset(dests))
+            self._hop_of_copy[copy.transfer_id] = hop
+            self.strategy.arq.send(
+                self.node, hop, copy, self._on_acked, self._on_failed
+            )
+
+    # ------------------------------------------------------------------
+    # ARQ callbacks
+    # ------------------------------------------------------------------
+    def _on_acked(self, copy: PacketFrame) -> None:
+        """Lines 23–26: the next hop took responsibility for these dests."""
+        self._hop_of_copy.pop(copy.transfer_id, None)
+        self.pending -= copy.destinations
+
+    def _on_failed(self, copy: PacketFrame) -> None:
+        """m transmissions went unACKed: mark the hop dead, re-dispatch."""
+        hop = self._hop_of_copy.pop(copy.transfer_id)
+        self.failed_neighbors.add(hop)
+        self._dispatch(set(copy.destinations))
+
+
+class DcrdStrategy(RoutingStrategy):
+    """Delay-Cognizant Reliable Delivery (the paper's contribution)."""
+
+    name = "DCRD"
+    uses_acks = True
+
+    def __init__(self, ctx: RuntimeContext) -> None:
+        super().__init__(ctx)
+        self.arq = ArqSender(ctx)
+        self._tables: Dict[Tuple[int, int], DrTable] = {}
+        self._estimates_signature: Optional[tuple] = None
+        self.tasks_started = 0
+        self.abandoned = 0
+        self.table_rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Control plane (Algorithm 1)
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """Solve the ``<d, r>`` recursion for every (topic, subscriber) pair."""
+        self._rebuild_tables()
+
+    def on_monitor_refresh(self) -> None:
+        """Re-run Algorithm 1 when the monitor publishes new estimates."""
+        self._rebuild_tables()
+
+    def _rebuild_tables(self) -> None:
+        estimates = self.ctx.monitor.estimates()
+        signature = tuple(
+            (edge, est.alpha, est.gamma) for edge, est in sorted(estimates.items())
+        )
+        if signature == self._estimates_signature:
+            return
+        self._estimates_signature = signature
+        self.table_rebuilds += 1
+        for spec in self.ctx.workload.topics:
+            for sub in spec.subscriptions:
+                self._tables[(spec.topic, sub.node)] = compute_dr_table(
+                    self.ctx.topology,
+                    estimates,
+                    publisher=spec.publisher,
+                    subscriber=sub.node,
+                    deadline=sub.deadline,
+                    m=self.ctx.params.m,
+                )
+
+    def table(self, topic: int, subscriber: int) -> DrTable:
+        """The control state of one (topic, subscriber) pair."""
+        return self._tables[(topic, subscriber)]
+
+    def sending_list(self, topic: int, subscriber: int, node: int) -> Tuple[int, ...]:
+        """Node *node*'s ordered candidates for *subscriber* of *topic*.
+
+        Unknown pairs (e.g. a subscriber that unsubscribed while copies
+        were in flight) yield an empty list, so the forwarding task
+        abandons the destination cleanly.
+        """
+        table = self._tables.get((topic, subscriber))
+        if table is None:
+            return ()
+        return table.sending_list(node)
+
+    # ------------------------------------------------------------------
+    # Subscription churn (incremental Algorithm 1)
+    # ------------------------------------------------------------------
+    def on_subscription_added(self, topic: int, subscription) -> None:
+        """Solve the recursion for just the new (topic, subscriber) pair."""
+        spec = self.ctx.workload.topic(topic)
+        self._tables[(topic, subscription.node)] = compute_dr_table(
+            self.ctx.topology,
+            self.ctx.monitor.estimates(),
+            publisher=spec.publisher,
+            subscriber=subscription.node,
+            deadline=subscription.deadline,
+            m=self.ctx.params.m,
+        )
+
+    def on_subscription_removed(self, topic: int, node: int) -> None:
+        """Drop the pair's control state; in-flight copies self-abandon."""
+        self._tables.pop((topic, node), None)
+
+    # ------------------------------------------------------------------
+    # Data plane (Algorithm 2)
+    # ------------------------------------------------------------------
+    def publish(self, spec: TopicSpec, msg_id: int) -> None:
+        """Inject a fresh packet at the publisher's broker."""
+        destinations = frozenset(spec.subscriber_nodes)
+        destinations = self._deliver_local_at_origin(spec, msg_id, destinations)
+        if not destinations:
+            return
+        frame = PacketFrame.fresh(
+            msg_id=msg_id,
+            topic=spec.topic,
+            origin=spec.publisher,
+            publish_time=self.ctx.sim.now,
+            destinations=destinations,
+        )
+        self._start_task(spec.publisher, frame)
+
+    def handle_data(self, node: int, sender: int, frame: PacketFrame) -> None:
+        """A copy arrived (fresh or bounced): run Algorithm 2 at *node*."""
+        self._start_task(node, frame)
+
+    def handle_ack(self, node: int, sender: int, ack: AckFrame) -> None:
+        """Route hop-by-hop ACKs into the ARQ layer."""
+        self.arq.handle_ack(node, sender, ack)
+
+    # ------------------------------------------------------------------
+    def _start_task(self, node: int, frame: PacketFrame) -> None:
+        self.tasks_started += 1
+        _DeliveryTask(self, node, frame)
+
+    def abandon(self, node: int, frame: PacketFrame, subscriber: int) -> None:
+        """Record a destination no broker could make progress on.
+
+        The persistency-mode extension overrides this hook to store the
+        packet instead of dropping it (§III's persistency mode).
+        """
+        self.abandoned += 1
+        self.ctx.metrics.record_give_up(frame.msg_id, subscriber)
+
+    def _deliver_local_at_origin(
+        self, spec: TopicSpec, msg_id: int, destinations: FrozenSet[int]
+    ) -> FrozenSet[int]:
+        if spec.publisher in destinations:
+            self.ctx.metrics.record_delivery(msg_id, spec.publisher, self.ctx.sim.now)
+            return destinations - {spec.publisher}
+        return destinations

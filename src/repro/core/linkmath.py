@@ -1,0 +1,63 @@
+"""Equation 1: the m-transmission link model.
+
+Given a link's single-transmission latency ``alpha1`` and delivery ratio
+``gamma1``, and a per-link transmission budget ``m``, the paper derives
+
+.. math::
+
+    \\alpha^{(m)} = \\frac{\\sum_{k=1}^{m} (k\\,\\alpha^{(1)})\\,
+        \\gamma^{(1)} (1-\\gamma^{(1)})^{k-1}}{1-(1-\\gamma^{(1)})^m},
+    \\qquad
+    \\gamma^{(m)} = 1-(1-\\gamma^{(1)})^m .
+
+``alpha^{(m)}`` is *conditional on eventual success within m transmissions*
+(the paper's "implicit condition"); ``gamma^{(m)}`` is the probability that
+at least one of the m transmissions gets through.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.util.validation import require, require_non_negative, require_probability
+
+
+def expected_delivery_ratio_m(gamma1: float, m: int) -> float:
+    """``gamma^(m)``: probability at least one of *m* transmissions succeeds."""
+    require_probability(gamma1, "gamma1")
+    require(m >= 1, f"m must be >= 1, got {m}")
+    return 1.0 - (1.0 - gamma1) ** m
+
+
+def expected_delay_m(alpha1: float, gamma1: float, m: int) -> float:
+    """``alpha^(m)``: expected latency conditional on success within *m* tries.
+
+    Each failed attempt costs one ``alpha1`` (the paper's retransmission
+    timer equals the expected link latency), so success at attempt ``k``
+    costs ``k * alpha1``. For ``gamma1 == 0`` the conditional expectation is
+    undefined; following the paper's convention the function returns
+    ``float('inf')``.
+    """
+    require_non_negative(alpha1, "alpha1")
+    require_probability(gamma1, "gamma1")
+    require(m >= 1, f"m must be >= 1, got {m}")
+    if gamma1 == 0.0:
+        return float("inf")
+    numerator = sum(
+        k * alpha1 * gamma1 * (1.0 - gamma1) ** (k - 1) for k in range(1, m + 1)
+    )
+    denominator = 1.0 - (1.0 - gamma1) ** m
+    if denominator == 0.0:
+        # gamma1 is denormal-small: (1 - gamma1) rounds to exactly 1.0 and
+        # the conditional expectation is numerically indistinguishable from
+        # the dead-link case.
+        return float("inf")
+    return numerator / denominator
+
+
+def link_params_m(alpha1: float, gamma1: float, m: int) -> Tuple[float, float]:
+    """Both Eq. 1 quantities as ``(alpha_m, gamma_m)``."""
+    return (
+        expected_delay_m(alpha1, gamma1, m),
+        expected_delivery_ratio_m(gamma1, m),
+    )

@@ -1,0 +1,61 @@
+"""Sending-list construction: eligibility filter and Theorem 1 ordering.
+
+A neighbour ``i`` of broker ``X`` is *eligible* for subscriber ``S`` only if
+its own expected delay satisfies ``d_i < D_XS`` (Algorithm 1, line 4) —
+i.e. it is expected to deliver within the remaining delay budget. Eligible
+neighbours are then sorted ascending by the ratio ``d_X^i / r_X^i``
+(Theorem 1), which the paper proves is the unique order (up to ties)
+minimising the expected delay ``d_X`` of Eq. 3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def eligible_neighbors(
+    neighbor_delays: Sequence[Tuple[int, float]],
+    delay_budget: float,
+) -> List[int]:
+    """Filter neighbours by the paper's ``d_i < D_XS`` rule.
+
+    Parameters
+    ----------
+    neighbor_delays:
+        ``(neighbor_id, d_i)`` pairs, where ``d_i`` is the neighbour's own
+        expected delay to the subscriber (``inf`` when unknown/unreachable).
+    delay_budget:
+        ``D_XS``, the remaining delay requirement at this broker.
+
+    Returns the ids that pass, preserving input order.
+    """
+    return [
+        neighbor
+        for neighbor, delay in neighbor_delays
+        if delay < delay_budget
+    ]
+
+
+def theorem1_key(d_via: float, r_via: float) -> float:
+    """The sort key ``d_X^i / r_X^i`` of Theorem 1.
+
+    ``r_via == 0`` yields ``inf`` so hopeless neighbours sink to the end of
+    the list (they contribute nothing to Eq. 3 either way).
+    """
+    if r_via <= 0.0:
+        return float("inf")
+    return d_via / r_via
+
+
+def order_sending_list(
+    candidates: Sequence[Tuple[int, float, float]],
+) -> List[Tuple[int, float, float]]:
+    """Sort ``(neighbor, d_via, r_via)`` triples per Theorem 1.
+
+    Ties on the ratio are broken by neighbour id to keep the distributed
+    computation deterministic across runs.
+    """
+    return sorted(
+        candidates,
+        key=lambda item: (theorem1_key(item[1], item[2]), item[0]),
+    )

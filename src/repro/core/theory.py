@@ -1,0 +1,80 @@
+"""Validators for the paper's analytical claims.
+
+These are deliberately *independent* re-derivations used by the test suite:
+
+* :func:`expected_delay_of_order` evaluates Eq. 3's numerator/denominator
+  for an arbitrary neighbour order, term by term, without the incremental
+  shortcuts of :func:`repro.core.computation.aggregate_dr`;
+* :func:`brute_force_best_order` exhaustively searches all ``n!`` orders,
+  which the property tests compare against the Theorem 1 sort.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import List, Sequence, Tuple
+
+
+def expected_delay_of_order(
+    d_via: Sequence[float],
+    r_via: Sequence[float],
+    order: Sequence[int],
+) -> float:
+    """Eq. 3's expected delay ``d_X`` for the given try order.
+
+    ``order`` holds indices into ``d_via``/``r_via``. Returns ``inf`` when
+    no neighbour can deliver (``r_X == 0``).
+    """
+    if len(d_via) != len(r_via):
+        raise ValueError("d_via and r_via must have equal length")
+    numerator = 0.0
+    cumulative = 0.0
+    survive = 1.0
+    for index in order:
+        cumulative += d_via[index]
+        numerator += cumulative * r_via[index] * survive
+        survive *= 1.0 - r_via[index]
+    r_total = 1.0 - survive
+    if r_total <= 0.0:
+        return float("inf")
+    return numerator / r_total
+
+
+def delivery_ratio_of_order(r_via: Sequence[float]) -> float:
+    """Eq. 3's ``r_X`` — independent of the order, by construction."""
+    survive = 1.0
+    for r in r_via:
+        survive *= 1.0 - r
+    return 1.0 - survive
+
+
+def brute_force_best_order(
+    d_via: Sequence[float],
+    r_via: Sequence[float],
+) -> Tuple[List[int], float]:
+    """Exhaustively find an order minimising Eq. 3's expected delay.
+
+    Only sensible for small ``n`` (tests use ``n <= 6``). Returns
+    ``(best_order, best_delay)``; ties resolve to the lexicographically
+    smallest order so results are deterministic.
+    """
+    n = len(d_via)
+    best_order: List[int] = list(range(n))
+    best_delay = math.inf
+    for permutation in itertools.permutations(range(n)):
+        delay = expected_delay_of_order(d_via, r_via, permutation)
+        if delay < best_delay - 1e-15:
+            best_delay = delay
+            best_order = list(permutation)
+    return best_order, best_delay
+
+
+def theorem1_order(d_via: Sequence[float], r_via: Sequence[float]) -> List[int]:
+    """Indices sorted by the Theorem 1 ratio ``d/r`` (ties by index)."""
+    def key(index: int) -> Tuple[float, int]:
+        r = r_via[index]
+        ratio = math.inf if r <= 0.0 else d_via[index] / r
+        return (ratio, index)
+
+    return sorted(range(len(d_via)), key=key)

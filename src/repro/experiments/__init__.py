@@ -1,0 +1,23 @@
+"""Experiment harness: configs, runner, sweeps, per-figure drivers, reports."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    STRATEGIES,
+    SimulationEnvironment,
+    build_environment,
+    run_comparison,
+    run_single,
+)
+from repro.experiments.sweeps import SweepResult, run_repetitions, sweep
+
+__all__ = [
+    "STRATEGIES",
+    "ExperimentConfig",
+    "SimulationEnvironment",
+    "SweepResult",
+    "build_environment",
+    "run_comparison",
+    "run_repetitions",
+    "run_single",
+    "sweep",
+]

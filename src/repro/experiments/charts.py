@@ -1,0 +1,96 @@
+"""ASCII line charts: see the figures in a terminal.
+
+No plotting stack is required offline, so this module renders sweep curves
+into a fixed-size character grid — enough to eyeball the orderings and
+crossovers the paper's figures show. One symbol per strategy; points that
+share a cell print the later strategy's symbol.
+
+>>> from repro.experiments.charts import render_chart
+>>> curves = {"A": [(0, 0.0), (1, 1.0)], "B": [(0, 1.0), (1, 0.0)]}
+>>> print(render_chart(curves, title="demo", height=5, width=21))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.sweeps import SweepResult
+
+#: Plot symbols assigned to curves in insertion order.
+SYMBOLS = "*o+x#@%&"
+
+
+def _scale(value: float, low: float, high: float, cells: int) -> int:
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return min(cells - 1, max(0, round(fraction * (cells - 1))))
+
+
+def render_chart(
+    curves: Mapping[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    height: int = 12,
+    width: int = 60,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` curves as an ASCII chart."""
+    if not curves:
+        return "(no curves)"
+    xs = [x for points in curves.values() for x, _ in points]
+    ys = [y for points in curves.values() for _, y in points]
+    if not xs:
+        return "(no data)"
+    x_low, x_high = min(xs), max(xs)
+    if y_range is not None:
+        y_low, y_high = y_range
+    else:
+        y_low, y_high = min(ys), max(ys)
+        if y_high == y_low:
+            y_high = y_low + 1.0
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for (label, points), symbol in zip(curves.items(), SYMBOLS):
+        for x, y in points:
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = symbol
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_high:8.3f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row) + "|")
+    lines.append(f"{y_low:8.3f} +" + "-" * width + "+")
+    lines.append(" " * 10 + f"{x_low:<12g}{'':^{max(0, width - 24)}}{x_high:>12g}")
+    legend = "  ".join(
+        f"{symbol}={label}" for (label, _), symbol in zip(curves.items(), SYMBOLS)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def chart_sweep(
+    result: SweepResult,
+    metric: str,
+    height: int = 12,
+    width: int = 60,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Chart one metric of a sweep (numeric axes only)."""
+    curves: Dict[str, List[Tuple[float, float]]] = {}
+    for strategy in result.strategies:
+        points = []
+        for x in result.x_values:
+            try:
+                x_value = float(x)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"sweep axis value {x!r} is not numeric; chart_sweep "
+                    "requires numeric x values"
+                ) from None
+            points.append((x_value, getattr(result.cells[x][strategy], metric)))
+        curves[strategy] = points
+    return render_chart(
+        curves, title=f"{result.name} — {metric}", height=height, width=width,
+        y_range=y_range,
+    )

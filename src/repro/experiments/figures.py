@@ -1,0 +1,201 @@
+"""One driver per figure of the paper's evaluation (§IV, Figures 2–8).
+
+Every function reproduces the corresponding figure's data: the same axis,
+the same strategies, the same metrics — only the simulated duration and the
+number of repeated topologies are scaled down by default (pure-Python event
+simulation is slower than the authors' simulator). Pass
+``duration=PAPER_DURATION`` and ``seeds=range(10)`` to restore the paper's
+full setting on identical code paths.
+
+The paper has no numbered tables; Figures 2–8 constitute the whole
+evaluation, and EXPERIMENTS.md records paper-vs-measured values for each.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import DEFAULT_STRATEGIES
+from repro.experiments.sweeps import ProgressHook, SweepResult, run_repetitions, sweep
+from repro.metrics.cdf import interpolate_cdf
+
+#: Failure-probability axis of Figures 2 and 3.
+FAILURE_PROBABILITIES = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10)
+
+#: Node-degree axis of Figure 4.
+NODE_DEGREES = (3, 4, 5, 6, 7, 8, 9, 10)
+
+#: Network-size axis of Figure 5.
+NETWORK_SIZES = (10, 20, 40, 80, 120, 160)
+
+#: Deadline-multiplier axis of Figure 6.
+DEADLINE_FACTORS = (1.5, 2.0, 3.0, 4.0, 5.0, 6.0)
+
+#: Packet-loss axis of Figure 8.
+LOSS_RATES = (1e-4, 1e-3, 1e-2, 1e-1)
+
+#: Metrics reported by the three-panel figures (2–5).
+PANEL_METRICS = ("delivery_ratio", "qos_delivery_ratio", "packets_per_subscriber")
+
+
+def _base_config(duration: float, **overrides: object) -> ExperimentConfig:
+    return ExperimentConfig(duration=duration).with_updates(**overrides)
+
+
+def figure2(
+    duration: float = 60.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    progress: Optional[ProgressHook] = None,
+) -> SweepResult:
+    """Figure 2: 20-node full mesh, failure probability 0 → 0.1."""
+    configs = {
+        pf: _base_config(duration, topology_kind="full_mesh", failure_probability=pf)
+        for pf in FAILURE_PROBABILITIES
+    }
+    return sweep(
+        "Figure 2: full mesh", "failure probability", configs, seeds, strategies, progress
+    )
+
+
+def figure3(
+    duration: float = 60.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    progress: Optional[ProgressHook] = None,
+) -> SweepResult:
+    """Figure 3: 20-node overlay with degree 5, failure probability 0 → 0.1."""
+    configs = {
+        pf: _base_config(
+            duration, topology_kind="regular", degree=5, failure_probability=pf
+        )
+        for pf in FAILURE_PROBABILITIES
+    }
+    return sweep(
+        "Figure 3: degree 5", "failure probability", configs, seeds, strategies, progress
+    )
+
+
+def figure4(
+    duration: float = 60.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    progress: Optional[ProgressHook] = None,
+) -> SweepResult:
+    """Figure 4: node degree 3 → 10 at Pf = 0.06."""
+    configs = {
+        degree: _base_config(
+            duration, topology_kind="regular", degree=degree, failure_probability=0.06
+        )
+        for degree in NODE_DEGREES
+    }
+    return sweep("Figure 4: connectivity", "node degree", configs, seeds, strategies, progress)
+
+
+def figure5(
+    duration: float = 30.0,
+    seeds: Sequence[int] = (0, 1),
+    sizes: Sequence[int] = NETWORK_SIZES,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    progress: Optional[ProgressHook] = None,
+) -> SweepResult:
+    """Figure 5: network size 10 → 160 nodes, degree 8, Pf = 0.06."""
+    configs = {
+        size: _base_config(
+            duration,
+            topology_kind="regular",
+            degree=8,
+            num_nodes=size,
+            failure_probability=0.06,
+        )
+        for size in sizes
+    }
+    return sweep("Figure 5: scalability", "network size", configs, seeds, strategies, progress)
+
+
+def figure6(
+    duration: float = 60.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    progress: Optional[ProgressHook] = None,
+) -> SweepResult:
+    """Figure 6: QoS delivery ratio vs deadline multiplier, degree 8, Pf = 0.06."""
+    configs = {
+        factor: _base_config(
+            duration,
+            topology_kind="regular",
+            degree=8,
+            failure_probability=0.06,
+            deadline_factor=factor,
+        )
+        for factor in DEADLINE_FACTORS
+    }
+    return sweep(
+        "Figure 6: QoS requirement", "deadline multiplier", configs, seeds, strategies, progress
+    )
+
+
+def figure7(
+    duration: float = 120.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    grid: Sequence[float] = tuple(1.0 + 0.125 * i for i in range(13)),
+    progress: Optional[ProgressHook] = None,
+) -> Dict[str, Tuple[List[float], List[float]]]:
+    """Figure 7: CDF of normalised delay of DCRD's deadline-missing packets.
+
+    Returns ``{topology_label: (grid, cdf_at_grid)}`` for the paper's two
+    topologies (full mesh and degree 8), both at Pf = 0.06. The x-axis is
+    ``actual delay / delay requirement`` (starts at 1: only late packets
+    are included).
+    """
+    results: Dict[str, Tuple[List[float], List[float]]] = {}
+    settings = {
+        "full-mesh": _base_config(
+            duration, topology_kind="full_mesh", failure_probability=0.06
+        ),
+        "degree-8": _base_config(
+            duration, topology_kind="regular", degree=8, failure_probability=0.06
+        ),
+    }
+    for label, config in settings.items():
+        summary = run_repetitions(config, "DCRD", seeds, progress)
+        results[label] = (list(grid), interpolate_cdf(summary.late_normalized_delays, grid))
+    return results
+
+
+def figure8(
+    duration: float = 60.0,
+    seeds: Sequence[int] = (0, 1, 2),
+    strategies: Sequence[str] = ("DCRD", "R-Tree", "D-Tree", "Multipath"),
+    m_values: Sequence[int] = (1, 2),
+    loss_rates: Sequence[float] = LOSS_RATES,
+    progress: Optional[ProgressHook] = None,
+) -> Mapping[int, SweepResult]:
+    """Figure 8: QoS ratio vs packet-loss rate for m = 1 and m = 2.
+
+    Degree 8, Pf = 0.01 (the figure's caption setting). Returns one
+    :class:`SweepResult` per ``m``.
+    """
+    results: Dict[int, SweepResult] = {}
+    for m in m_values:
+        configs = {
+            pl: _base_config(
+                duration,
+                topology_kind="regular",
+                degree=8,
+                failure_probability=0.01,
+                loss_rate=pl,
+                m=m,
+            )
+            for pl in loss_rates
+        }
+        results[m] = sweep(
+            f"Figure 8: loss sweep (m={m})",
+            "packet loss rate",
+            configs,
+            seeds,
+            strategies,
+            progress,
+        )
+    return results

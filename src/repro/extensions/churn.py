@@ -1,0 +1,147 @@
+"""Subscriber churn: joins and leaves while traffic flows.
+
+The overlay-multicast literature the paper builds on ([7], [8]) is largely
+about handling membership churn efficiently; the paper itself evaluates a
+static population. This extension adds runtime churn:
+
+* :class:`ChurnProcess` flips random (topic, broker) subscriptions at a
+  configurable rate — a join picks a broker not currently subscribed (with
+  a deadline derived the same way as the static workload), a leave removes
+  an existing subscriber (never the last one, so every topic stays live);
+* after each flip the strategy is notified through the
+  ``on_subscription_added`` / ``on_subscription_removed`` hooks — DCRD
+  recomputes one ``<d, r>`` table, the fixed baselines rebuild;
+* :func:`churn_study` sweeps the churn rate and compares strategies.
+
+Metrics semantics under churn: a message's expected recipients are the
+subscribers *at publish time*; a subscriber that leaves with copies in
+flight counts against delivery if the copy no longer reaches it. That is
+the operator-visible behaviour of a real broker network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_environment
+from repro.experiments.sweeps import ProgressHook, SweepResult
+from repro.metrics.summary import MetricsSummary, mean_summaries
+from repro.pubsub.topics import Subscription
+from repro.routing.base import RoutingStrategy, RuntimeContext
+from repro.util.validation import require_positive
+
+
+class ChurnProcess:
+    """Flips random subscriptions at exponential intervals."""
+
+    def __init__(
+        self,
+        ctx: RuntimeContext,
+        strategy: RoutingStrategy,
+        rate: float,
+        deadline_factor: float = 3.0,
+        stop_time: Optional[float] = None,
+    ) -> None:
+        require_positive(rate, "rate")
+        self.ctx = ctx
+        self.strategy = strategy
+        self.rate = rate
+        self.deadline_factor = deadline_factor
+        self.stop_time = stop_time
+        self.joins = 0
+        self.leaves = 0
+        self._rng = ctx.streams.get("churn")
+
+    def start(self) -> None:
+        """Schedule the first flip."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        delay = float(self._rng.exponential(1.0 / self.rate))
+        self.ctx.sim.schedule(delay, self._flip)
+
+    def _flip(self) -> None:
+        if self.stop_time is not None and self.ctx.sim.now >= self.stop_time:
+            return
+        workload = self.ctx.workload
+        spec = workload.topics[int(self._rng.integers(0, len(workload.topics)))]
+        node = int(self._rng.integers(0, self.ctx.topology.num_nodes))
+        subscribed = node in spec.subscriber_nodes
+        if subscribed and len(spec.subscriptions) > 1:
+            workload.remove_subscription(spec.topic, node)
+            self.strategy.on_subscription_removed(spec.topic, node)
+            self.leaves += 1
+        elif not subscribed and node != spec.publisher:
+            deadline = self.deadline_factor * self.ctx.topology.shortest_delay(
+                spec.publisher, node
+            )
+            subscription = Subscription(node=node, deadline=deadline)
+            workload.add_subscription(spec.topic, subscription)
+            self.strategy.on_subscription_added(spec.topic, subscription)
+            self.joins += 1
+        self._schedule_next()
+
+
+def run_with_churn(
+    config: ExperimentConfig,
+    strategy_name: str,
+    seed: int,
+    churn_rate: float,
+) -> Tuple[MetricsSummary, ChurnProcess]:
+    """One run with a churn process attached; returns (summary, process)."""
+    env = build_environment(config, strategy_name, seed)
+    churn = ChurnProcess(
+        env.ctx,
+        env.strategy,
+        rate=churn_rate,
+        deadline_factor=config.deadline_factor,
+        stop_time=config.duration,
+    )
+    churn.start()
+    summary = env.execute()
+    return summary, churn
+
+
+#: Default churn-rate axis (subscription flips per second, network-wide).
+DEFAULT_CHURN_RATES = (0.0, 0.5, 2.0, 8.0)
+
+
+def churn_study(
+    duration: float = 30.0,
+    seeds: Sequence[int] = (0, 1),
+    churn_rates: Sequence[float] = DEFAULT_CHURN_RATES,
+    degree: int = 5,
+    failure_probability: float = 0.04,
+    strategies: Sequence[str] = ("DCRD", "D-Tree", "Multipath"),
+    progress: Optional[ProgressHook] = None,
+) -> SweepResult:
+    """Sweep the churn rate under the paper's failure setting."""
+    result = SweepResult(
+        name="Extension: subscriber churn",
+        x_label="churn rate (flips/s)",
+        x_values=list(churn_rates),
+        strategies=list(strategies),
+    )
+    config = ExperimentConfig(
+        topology_kind="regular",
+        degree=degree,
+        duration=duration,
+        failure_probability=failure_probability,
+    )
+    for rate in churn_rates:
+        row = {}
+        for strategy in strategies:
+            summaries: List[MetricsSummary] = []
+            for seed in seeds:
+                if progress is not None:
+                    progress(f"churn={rate} {strategy} seed={seed}")
+                if rate == 0.0:
+                    env = build_environment(config, strategy, seed)
+                    summaries.append(env.execute())
+                else:
+                    summary, _ = run_with_churn(config, strategy, seed, rate)
+                    summaries.append(summary)
+            row[strategy] = mean_summaries(summaries)
+        result.cells[rate] = row
+    return result

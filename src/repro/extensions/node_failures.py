@@ -1,0 +1,57 @@
+"""Node-failure evaluation (paper §V: "work is also underway…").
+
+The paper's future-work section highlights node failures: a crashed broker
+takes all its links down simultaneously, can strand packets cached at it,
+and can cut destinations off entirely. The substrate already models this
+(:class:`repro.overlay.failures.NodeFailureSchedule`); this module provides
+the study the paper promises: a sweep over the per-node crash probability
+comparing DCRD with the baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import DEFAULT_STRATEGIES
+from repro.experiments.sweeps import ProgressHook, SweepResult, sweep
+
+#: Default crash-probability axis (per node, per second).
+NODE_FAILURE_PROBABILITIES = (0.0, 0.01, 0.02, 0.04, 0.06)
+
+
+def node_failure_study(
+    duration: float = 30.0,
+    seeds: Sequence[int] = (0, 1),
+    probabilities: Sequence[float] = NODE_FAILURE_PROBABILITIES,
+    degree: int = 8,
+    link_failure_probability: float = 0.02,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    progress: Optional[ProgressHook] = None,
+) -> SweepResult:
+    """Sweep the per-node crash probability on a degree-``degree`` overlay.
+
+    Link failures stay at a small constant rate so the node-crash axis is
+    the dominant effect. Crashed publishers cannot emit (their frames are
+    dropped at the network), and crashed subscribers cannot receive —
+    deliveries simply arrive once the node recovers, which is exactly the
+    latency cost the paper anticipates.
+    """
+    configs = {
+        probability: ExperimentConfig(
+            topology_kind="regular",
+            degree=degree,
+            duration=duration,
+            failure_probability=link_failure_probability,
+            node_failure_probability=probability,
+        )
+        for probability in probabilities
+    }
+    return sweep(
+        "Extension: node failures",
+        "node crash probability",
+        configs,
+        seeds,
+        strategies,
+        progress,
+    )

@@ -1,0 +1,16 @@
+"""Metrics: per-delivery records, summaries, and CDF helpers."""
+
+from repro.metrics.cdf import empirical_cdf, interpolate_cdf, percentile
+from repro.metrics.collector import DeliveryOutcome, MetricsCollector
+from repro.metrics.summary import MetricsSummary, mean_summaries, summarize
+
+__all__ = [
+    "DeliveryOutcome",
+    "MetricsCollector",
+    "MetricsSummary",
+    "empirical_cdf",
+    "interpolate_cdf",
+    "mean_summaries",
+    "percentile",
+    "summarize",
+]

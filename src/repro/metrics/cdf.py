@@ -1,0 +1,42 @@
+"""Empirical CDF utilities (Figure 7 reports a late-delivery CDF)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import require, require_in_range
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Return ``(xs, F(xs))`` of the empirical CDF of *values*.
+
+    ``xs`` is sorted ascending and ``F(x)`` is the fraction of samples
+    ``<= x`` (right-continuous step heights). Empty input yields two empty
+    lists.
+    """
+    if len(values) == 0:
+        return [], []
+    xs = np.sort(np.asarray(values, dtype=float))
+    fs = np.arange(1, len(xs) + 1) / len(xs)
+    return xs.tolist(), fs.tolist()
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-quantile (q in [0, 1]) of *values* (linear interpolation)."""
+    require(len(values) > 0, "percentile of empty sample")
+    require_in_range(q, 0.0, 1.0, "q")
+    return float(np.quantile(np.asarray(values, dtype=float), q))
+
+
+def interpolate_cdf(values: Sequence[float], at: Sequence[float]) -> List[float]:
+    """Evaluate the empirical CDF of *values* at each point in *at*.
+
+    Returns ``P[value <= a]`` for every ``a`` in *at*. An empty sample
+    evaluates to 0 everywhere (nothing has been observed below any level).
+    """
+    if len(values) == 0:
+        return [0.0 for _ in at]
+    xs = np.sort(np.asarray(values, dtype=float))
+    return [float(np.searchsorted(xs, a, side="right")) / len(xs) for a in at]

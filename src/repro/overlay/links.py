@@ -1,0 +1,360 @@
+"""The overlay data plane: frame transmission over lossy, failing links.
+
+:class:`OverlayNetwork` binds together the event kernel, a
+:class:`~repro.overlay.topology.Topology`, a per-transmission random-loss
+model (``Pl``), the per-second :class:`~repro.overlay.failures.FailureSchedule`
+(``Pf``), and optionally a node-crash schedule. Broker runtimes attach a
+frame handler per node and call :meth:`OverlayNetwork.transmit`; the network
+decides whether the frame survives and, if so, delivers it one link delay
+later.
+
+Loss semantics (documented in DESIGN.md §5.3):
+
+* a frame is lost if its link is inside a failed epoch at *departure* time;
+* otherwise it is lost with independent probability ``Pl``;
+* node failures (extension) drop frames whose sender or receiver is down;
+* DATA and ACK frames are subject to the same hazards.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.overlay.failures import FailureSchedule, NodeFailureSchedule
+from repro.overlay.topology import Topology, canonical_edge
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.util.errors import SimulationError
+from repro.util.validation import require_probability
+
+FrameHandler = Callable[[int, Any], None]
+"""Signature of a node's receive hook: ``handler(sender, frame)``."""
+
+
+class FrameKind(enum.Enum):
+    """Classes of frames the accounting distinguishes."""
+
+    DATA = "data"
+    ACK = "ack"
+    PROBE = "probe"
+
+
+@dataclass
+class LinkStats:
+    """Aggregate transmission counters, per frame kind.
+
+    ``sent`` counts frames (the paper's packets metric); ``volume`` sums
+    frame *sizes* (in units of one full message), which differs from the
+    count only for FEC fragments.
+    """
+
+    sent: Dict[FrameKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in FrameKind}
+    )
+    volume: Dict[FrameKind, float] = field(
+        default_factory=lambda: {kind: 0.0 for kind in FrameKind}
+    )
+    delivered: Dict[FrameKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in FrameKind}
+    )
+    lost_failure: Dict[FrameKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in FrameKind}
+    )
+    lost_random: Dict[FrameKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in FrameKind}
+    )
+    lost_node_down: Dict[FrameKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in FrameKind}
+    )
+    dropped_expired: Dict[FrameKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in FrameKind}
+    )
+
+    def data_sent(self) -> int:
+        """Number of DATA-frame link transmissions (the paper's traffic metric)."""
+        return self.sent[FrameKind.DATA]
+
+    def data_volume(self) -> float:
+        """Size-weighted DATA traffic (equals :meth:`data_sent` without FEC)."""
+        return self.volume[FrameKind.DATA]
+
+    def loss_fraction(self, kind: FrameKind) -> float:
+        """Fraction of *kind* frames that did not arrive."""
+        sent = self.sent[kind]
+        if sent == 0:
+            return 0.0
+        return 1.0 - self.delivered[kind] / sent
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """A record of one frame handed to the network (used by tests/tracing)."""
+
+    time: float
+    src: int
+    dst: int
+    kind: FrameKind
+    survived: bool
+
+
+class OverlayNetwork:
+    """Unreliable frame delivery between adjacent brokers.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event kernel.
+    topology:
+        The overlay graph with link delays.
+    streams:
+        Named RNG streams; random loss draws come from ``streams.get("loss")``.
+    loss_rate:
+        ``Pl``, independent per-transmission loss probability (uniform).
+    link_loss_rates:
+        Optional per-link overrides (canonical edge -> Pl). Links absent
+        from the mapping fall back to the uniform ``loss_rate``.
+        Heterogeneous loss is what makes Theorem 1's d/r ordering differ
+        from plain delay ordering.
+    failures:
+        Optional transient link-failure schedule (``None`` = no failures).
+    node_failures:
+        Optional node-crash schedule (extension; ``None`` = no crashes).
+    service_time:
+        Optional per-frame serialisation time in seconds (finite link
+        capacity). When set, each link *direction* is a single server: a
+        frame occupies the link for ``service_time * size`` before its
+        propagation delay starts, and frames queue behind each other.
+        ``None`` (the paper's model) means infinite capacity — frames
+        never queue. ACKs are assumed negligibly small and skip the queue.
+    queue_discipline:
+        How a busy link direction orders waiting DATA frames: ``"fifo"``
+        (default, arrival order) or ``"edf"`` (earliest deadline first,
+        by ``frame.priority``; ties arrival order). EDF implements the
+        classical "priority-based queueing" alternative the paper's
+        introduction contrasts DCRD against.
+    trace:
+        When true, every transmission is appended to :attr:`transmissions`
+        (memory-hungry; intended for tests and debugging).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        streams: RandomStreams,
+        loss_rate: float = 0.0,
+        failures: Optional[FailureSchedule] = None,
+        node_failures: Optional[NodeFailureSchedule] = None,
+        service_time: Optional[float] = None,
+        link_loss_rates: Optional[Dict[tuple, float]] = None,
+        queue_discipline: str = "fifo",
+        edf_drop_expired: bool = False,
+        trace: bool = False,
+    ) -> None:
+        require_probability(loss_rate, "loss_rate")
+        if link_loss_rates:
+            for edge, rate in link_loss_rates.items():
+                require_probability(rate, f"link_loss_rates[{edge}]")
+        if queue_discipline not in ("fifo", "edf"):
+            raise SimulationError(
+                f"unknown queue_discipline {queue_discipline!r}"
+            )
+        self.edf_drop_expired = edf_drop_expired
+        if service_time is not None and not service_time > 0:
+            raise SimulationError(f"service_time must be > 0, got {service_time}")
+        self.sim = sim
+        self.topology = topology
+        self.loss_rate = loss_rate
+        self.failures = failures
+        self.node_failures = node_failures
+        self.service_time = service_time
+        self.link_loss_rates = dict(link_loss_rates or {})
+        self.queue_discipline = queue_discipline
+        self.stats = LinkStats()
+        self.transmissions: list = []
+        self._trace = trace
+        self._loss_rng = streams.get("loss")
+        self._handlers: Dict[int, FrameHandler] = {}
+        # Per-direction FIFO occupancy: (src, dst) -> time the link frees up.
+        self._busy_until: Dict[tuple, float] = {}
+        # EDF discipline state: per-direction waiting heaps + busy flags.
+        self._edf_queue: Dict[tuple, list] = {}
+        self._edf_busy: Dict[tuple, bool] = {}
+        self._edf_seq = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, node: int, handler: FrameHandler) -> None:
+        """Register *handler* as the frame sink of *node*."""
+        if node not in self.topology.nodes:
+            raise SimulationError(f"node {node} is not in the topology")
+        self._handlers[node] = handler
+
+    def detach(self, node: int) -> None:
+        """Remove *node*'s handler; frames to it are silently dropped."""
+        self._handlers.pop(node, None)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def transmit(
+        self, src: int, dst: int, frame: Any, kind: FrameKind, reliable: bool = False
+    ) -> bool:
+        """Send *frame* from *src* to the adjacent node *dst*.
+
+        ``reliable=True`` skips the random-loss draw (transient link
+        failures and node crashes still apply); it exists solely for the
+        ORACLE upper-bound baseline, which by definition is not hampered by
+        recoverable randomness.
+
+        Returns whether the frame survived the link hazards (the *caller
+        must not use this for protocol decisions* — real senders learn the
+        outcome only via ACKs; the return value exists for tests and the
+        tracing layer).
+        """
+        if not self.topology.has_edge(src, dst):
+            raise SimulationError(f"no overlay link {src} -> {dst}")
+        now = self.sim.now
+        size = getattr(frame, "size", 1.0)
+        self.stats.sent[kind] += 1
+        self.stats.volume[kind] += size
+        survived = True
+        if self.node_failures is not None and (
+            self.node_failures.is_failed(src, now)
+            or self.node_failures.is_failed(dst, now)
+        ):
+            self.stats.lost_node_down[kind] += 1
+            survived = False
+        elif self.failures is not None and self.failures.is_failed(src, dst, now):
+            self.stats.lost_failure[kind] += 1
+            survived = False
+        else:
+            effective_loss = self.link_loss_rates.get(
+                canonical_edge(src, dst), self.loss_rate
+            )
+            if (
+                not reliable
+                and effective_loss > 0.0
+                and self._loss_rng.random() < effective_loss
+            ):
+                self.stats.lost_random[kind] += 1
+                survived = False
+        if survived:
+            delay = self.topology.delay(src, dst)
+            if self.service_time is not None and kind is FrameKind.DATA:
+                if self.queue_discipline == "edf":
+                    # Delivery is scheduled by the per-direction server.
+                    self._edf_enqueue(src, dst, frame, kind, size)
+                else:
+                    # FIFO serialisation: wait for the direction to free
+                    # up, hold it for a size-scaled service time, propagate.
+                    key = (src, dst)
+                    start = max(now, self._busy_until.get(key, 0.0))
+                    finish = start + self.service_time * size
+                    self._busy_until[key] = finish
+                    delay = (finish - now) + delay
+                    self.sim.schedule(delay, self._deliver, src, dst, frame, kind)
+            else:
+                self.sim.schedule(delay, self._deliver, src, dst, frame, kind)
+        if self._trace:
+            self.transmissions.append(
+                Transmission(time=now, src=src, dst=dst, kind=kind, survived=survived)
+            )
+        return survived
+
+    def _deliver(self, src: int, dst: int, frame: Any, kind: FrameKind) -> None:
+        # A node that crashed while the frame was in flight cannot receive it.
+        if self.node_failures is not None and self.node_failures.is_failed(
+            dst, self.sim.now
+        ):
+            self.stats.lost_node_down[kind] += 1
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            return
+        self.stats.delivered[kind] += 1
+        handler(src, frame)
+
+    # ------------------------------------------------------------------
+    # Convenience queries used by routing layers
+    # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # EDF link server (queue_discipline="edf")
+    # ------------------------------------------------------------------
+    def _edf_enqueue(
+        self, src: int, dst: int, frame: Any, kind: FrameKind, size: float
+    ) -> None:
+        key = (src, dst)
+        self._edf_seq += 1
+        priority = getattr(frame, "priority", float("inf"))
+        heapq.heappush(
+            self._edf_queue.setdefault(key, []),
+            (priority, self._edf_seq, frame, kind, size),
+        )
+        if not self._edf_busy.get(key, False):
+            self._edf_serve_next(key)
+
+    def _edf_serve_next(self, key: tuple) -> None:
+        queue = self._edf_queue.get(key)
+        if self.edf_drop_expired and queue:
+            # Expired frames can no longer meet their deadline even with
+            # zero further delay; dropping them frees capacity for frames
+            # that still can (the textbook overload policy).
+            now = self.sim.now
+            prop = self.topology.delay(*key)
+            while queue and queue[0][0] < now + prop:
+                _, _, _, kind, _ = heapq.heappop(queue)
+                self.stats.dropped_expired[kind] += 1
+        if not queue:
+            self._edf_busy[key] = False
+            return
+        self._edf_busy[key] = True
+        _, _, frame, kind, size = heapq.heappop(queue)
+        assert self.service_time is not None
+        self.sim.schedule(
+            self.service_time * size, self._edf_finish, key, frame, kind
+        )
+
+    def _edf_finish(self, key: tuple, frame: Any, kind: FrameKind) -> None:
+        src, dst = key
+        self.sim.schedule(
+            self.topology.delay(src, dst), self._deliver, src, dst, frame, kind
+        )
+        self._edf_serve_next(key)
+
+    def queueing_backlog(self, src: int, dst: int) -> float:
+        """Seconds until the (src, dst) direction frees up (0 = idle).
+
+        For the EDF discipline this is a lower bound: the aggregate
+        service time still queued on the direction.
+        """
+        if self.service_time is None:
+            return 0.0
+        if self.queue_discipline == "edf":
+            queued = self._edf_queue.get((src, dst), [])
+            backlog = sum(size for _, _, _, _, size in queued) * self.service_time
+            if self._edf_busy.get((src, dst), False):
+                backlog += self.service_time  # at most one service remains
+            return backlog
+        return max(0.0, self._busy_until.get((src, dst), 0.0) - self.sim.now)
+
+    def link_up(self, u: int, v: int) -> bool:
+        """Whether link (u, v) is outside any failed epoch right now."""
+        if self.failures is None:
+            return True
+        return not self.failures.is_failed(u, v, self.sim.now)
+
+    def expected_success_probability(self) -> float:
+        """Long-run single-transmission success probability (uniform part)."""
+        pf = self.failures.failure_probability if self.failures is not None else 0.0
+        return (1.0 - pf) * (1.0 - self.loss_rate)
+
+    def link_success_probability(self, u: int, v: int) -> float:
+        """Long-run single-transmission success probability of link (u, v)."""
+        pf = self.failures.failure_probability if self.failures is not None else 0.0
+        loss = self.link_loss_rates.get(canonical_edge(u, v), self.loss_rate)
+        return (1.0 - pf) * (1.0 - loss)

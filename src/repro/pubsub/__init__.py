@@ -1,0 +1,19 @@
+"""Publish/subscribe layer: frames, topics, workload, brokers, publishers."""
+
+from repro.pubsub.broker import BrokerRuntime
+from repro.pubsub.endpoints import PublisherProcess
+from repro.pubsub.messages import AckFrame, PacketFrame, next_message_id, reset_message_ids
+from repro.pubsub.topics import Subscription, TopicSpec, Workload, generate_workload
+
+__all__ = [
+    "AckFrame",
+    "BrokerRuntime",
+    "PacketFrame",
+    "PublisherProcess",
+    "Subscription",
+    "TopicSpec",
+    "Workload",
+    "generate_workload",
+    "next_message_id",
+    "reset_message_ids",
+]

@@ -1,0 +1,140 @@
+"""Broker runtime: the per-node mechanics shared by every routing scheme.
+
+Each broker node gets one :class:`BrokerRuntime`, which registers itself as
+the node's frame handler on the overlay network and implements the pieces
+that are identical across DCRD and the baselines:
+
+* immediate hop-by-hop ACK of received DATA frames (Algorithm 2, line 2) —
+  when the active strategy uses ACKs;
+* duplicate suppression: a lost ACK makes the sender retransmit, so a broker
+  can legitimately receive a byte-identical copy it already processed; the
+  copy is re-ACKed (the sender is still waiting) but not re-forwarded;
+* local delivery to subscribers hosted on this broker, including
+  fragment reassembly for FEC-coded messages (a message with
+  ``fragments_needed = k`` delivers when the k-th *distinct* fragment
+  arrives);
+* delegation of the forwarding decision to the
+  :class:`~repro.routing.base.RoutingStrategy`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Deque, Dict, Set
+
+from repro.overlay.links import FrameKind
+from repro.pubsub.messages import AckFrame, PacketFrame
+from repro.routing.base import RoutingStrategy, RuntimeContext
+from repro.util.errors import SimulationError
+
+#: Bound on the per-broker duplicate-suppression window.
+DEDUP_CAPACITY = 1 << 17
+
+
+class BrokerRuntime:
+    """The runtime of one broker node."""
+
+    def __init__(self, node: int, ctx: RuntimeContext, strategy: RoutingStrategy) -> None:
+        self.node = node
+        self.ctx = ctx
+        self.strategy = strategy
+        self._seen: Set[int] = set()
+        self._seen_order: Deque[int] = deque()
+        # FEC reassembly: msg_id -> set of distinct fragment indices seen.
+        self._fragments: Dict[int, Set[int]] = {}
+        self._fragment_order: Deque[int] = deque()
+        self._local_topics: Set[int] = set()
+        self._workload_version = -1
+        self._refresh_local_topics()
+        self.frames_received = 0
+        self.duplicates_suppressed = 0
+        self.local_deliveries = 0
+        ctx.network.attach(node, self.on_frame)
+
+    def _refresh_local_topics(self) -> None:
+        """Re-derive the local subscription set after workload churn."""
+        self._workload_version = self.ctx.workload.version
+        self._local_topics = {
+            spec.topic
+            for spec in self.ctx.workload.topics
+            if self.node in spec.subscriber_nodes
+        }
+
+    @property
+    def local_topics(self) -> Set[int]:
+        """Topics with a subscriber hosted on this broker."""
+        if self._workload_version != self.ctx.workload.version:
+            self._refresh_local_topics()
+        return set(self._local_topics)
+
+    # ------------------------------------------------------------------
+    def on_frame(self, sender: int, frame: object) -> None:
+        """Network delivery hook for this node."""
+        if isinstance(frame, AckFrame):
+            self.strategy.handle_ack(self.node, sender, frame)
+            return
+        if not isinstance(frame, PacketFrame):
+            raise SimulationError(f"broker {self.node} got unknown frame {frame!r}")
+        self.frames_received += 1
+        if self.strategy.uses_acks:
+            ack = AckFrame(
+                msg_id=frame.msg_id,
+                acker=self.node,
+                transfer_id=frame.transfer_id,
+            )
+            self.ctx.network.transmit(self.node, sender, ack, FrameKind.ACK)
+        if self._is_duplicate(sender, frame):
+            self.duplicates_suppressed += 1
+            return
+        remaining = self._deliver_locally(frame)
+        if not remaining:
+            return
+        if remaining != frame.destinations:
+            frame = dataclasses.replace(frame, destinations=remaining)
+        self.strategy.handle_data(self.node, sender, frame)
+
+    # ------------------------------------------------------------------
+    def _is_duplicate(self, sender: int, frame: PacketFrame) -> bool:
+        key = frame.dedup_key()
+        if key in self._seen:
+            return True
+        self._seen.add(key)
+        self._seen_order.append(key)
+        if len(self._seen_order) > DEDUP_CAPACITY:
+            self._seen.discard(self._seen_order.popleft())
+        return False
+
+    def _deliver_locally(self, frame: PacketFrame) -> frozenset:
+        """Deliver to a subscriber on this broker; return remaining dests."""
+        if self.node not in frame.destinations:
+            return frame.destinations
+        if self._workload_version != self.ctx.workload.version:
+            self._refresh_local_topics()
+        if frame.topic in self._local_topics and self._decodable(frame):
+            first = self.ctx.metrics.record_delivery(
+                frame.msg_id,
+                self.node,
+                self.ctx.sim.now,
+                hops=len(frame.routing_path),
+            )
+            if first:
+                self.local_deliveries += 1
+        return frame.destinations - {self.node}
+
+    def _decodable(self, frame: PacketFrame) -> bool:
+        """Whether the message is complete once *frame* has arrived."""
+        if frame.fragments_needed <= 0:
+            return True
+        seen = self._fragments.get(frame.msg_id)
+        if seen is None:
+            seen = set()
+            self._fragments[frame.msg_id] = seen
+            self._fragment_order.append(frame.msg_id)
+            if len(self._fragment_order) > DEDUP_CAPACITY:
+                self._fragments.pop(self._fragment_order.popleft(), None)
+        seen.add(frame.fragment_index)
+        return len(seen) >= frame.fragments_needed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BrokerRuntime(node={self.node}, topics={sorted(self._local_topics)})"

@@ -1,0 +1,195 @@
+"""Wire frames exchanged between brokers.
+
+A published message is identified by a globally unique ``msg_id``. As it
+moves through the overlay it is wrapped in :class:`PacketFrame` copies; each
+copy carries the subset of subscribers it is responsible for
+(``destinations``) and the ordered list of brokers that have sent it
+(``routing_path``) — the in-band state DCRD uses for loop avoidance and
+upstream rerouting (§III-D).
+
+Every *distinct* copy additionally carries a globally unique ``transfer_id``
+assigned when the copy is created. Retransmissions of a copy reuse the id,
+so (a) the hop-by-hop :class:`AckFrame` can name exactly which transmission
+it confirms even when several copies of one message are in flight between
+the same pair of brokers, and (b) receivers can suppress byte-identical
+duplicates caused by lost ACKs.
+
+Frames are immutable; every hop builds new copies via :meth:`PacketFrame.forwarded`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+_message_counter = itertools.count(1)
+_transfer_counter = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """Allocate a fresh globally unique message id."""
+    return next(_message_counter)
+
+
+def next_transfer_id() -> int:
+    """Allocate a fresh globally unique transfer (copy) id."""
+    return next(_transfer_counter)
+
+
+def reset_message_ids() -> None:
+    """Reset both id counters (tests and independent experiment repetitions)."""
+    global _message_counter, _transfer_counter
+    _message_counter = itertools.count(1)
+    _transfer_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class PacketFrame:
+    """One copy of a published message in flight between two brokers.
+
+    Attributes
+    ----------
+    msg_id:
+        Globally unique id of the published message.
+    transfer_id:
+        Globally unique id of this copy; shared by its retransmissions.
+    topic:
+        Topic the message was published on.
+    origin:
+        Broker hosting the publisher.
+    publish_time:
+        Virtual time at which the publisher emitted the message.
+    destinations:
+        Subscriber broker ids this copy must still reach.
+    routing_path:
+        Ordered brokers that have *sent* this copy (each sender appends
+        itself before transmitting — Algorithm 2, line 20).
+    source_route:
+        Remaining explicit hops, used by the source-routed baselines
+        (Multipath, FEC); their paths are fixed at publish time. Empty for
+        DCRD/tree/oracle frames.
+    fragment_index / fragments_needed:
+        Forward-error-correction metadata (the FEC extension): this copy is
+        fragment ``fragment_index`` of a message that is decodable once any
+        ``fragments_needed`` *distinct* fragments arrive.
+        ``fragments_needed == 0`` (the default) marks a self-contained
+        packet that delivers on first arrival.
+    size:
+        Relative payload size in units of one full message (1.0 for normal
+        packets; ``1/k`` for (n, k)-code fragments). Feeds the
+        volume-based traffic metric and, on finite-capacity links, scales
+        the serialisation time.
+    priority:
+        Urgency for priority-queueing link disciplines: the absolute
+        virtual time of the copy's earliest destination deadline (lower =
+        more urgent). ``inf`` (the default) means "no deadline known";
+        FIFO links ignore this field entirely.
+    """
+
+    msg_id: int
+    transfer_id: int
+    topic: int
+    origin: int
+    publish_time: float
+    destinations: FrozenSet[int]
+    routing_path: Tuple[int, ...]
+    source_route: Tuple[int, ...] = ()
+    fragment_index: int = -1
+    fragments_needed: int = 0
+    size: float = 1.0
+    priority: float = float("inf")
+
+    @staticmethod
+    def fresh(
+        msg_id: int,
+        topic: int,
+        origin: int,
+        publish_time: float,
+        destinations: FrozenSet[int],
+        routing_path: Tuple[int, ...] = (),
+        source_route: Tuple[int, ...] = (),
+        fragment_index: int = -1,
+        fragments_needed: int = 0,
+        size: float = 1.0,
+        priority: float = float("inf"),
+    ) -> "PacketFrame":
+        """Create a brand-new copy with its own transfer id."""
+        return PacketFrame(
+            msg_id=msg_id,
+            transfer_id=next_transfer_id(),
+            topic=topic,
+            origin=origin,
+            publish_time=publish_time,
+            destinations=destinations,
+            routing_path=routing_path,
+            source_route=source_route,
+            fragment_index=fragment_index,
+            fragments_needed=fragments_needed,
+            size=size,
+            priority=priority,
+        )
+
+    def forwarded(
+        self,
+        sender: int,
+        destinations: FrozenSet[int],
+        source_route: Tuple[int, ...] = (),
+        priority: Optional[float] = None,
+    ) -> "PacketFrame":
+        """A new copy for the next hop, with *sender* appended to the path.
+
+        ``priority`` overrides the inherited urgency (used when a copy's
+        destination subset has a different earliest deadline than its
+        parent frame).
+        """
+        return PacketFrame.fresh(
+            msg_id=self.msg_id,
+            topic=self.topic,
+            origin=self.origin,
+            publish_time=self.publish_time,
+            destinations=destinations,
+            routing_path=self.routing_path + (sender,),
+            source_route=source_route,
+            fragment_index=self.fragment_index,
+            fragments_needed=self.fragments_needed,
+            size=self.size,
+            priority=self.priority if priority is None else priority,
+        )
+
+    def visited(self, node: int) -> bool:
+        """Whether *node* already appears on the routing path."""
+        return node in self.routing_path
+
+    def upstream_of(self, node: int) -> int:
+        """The broker *node* originally received this copy from.
+
+        Per §III-D this is read from the routing path: the entry immediately
+        before *node*'s first appearance; if *node* has not sent the copy
+        yet, its upstream is the last sender on the path. Returns ``-1``
+        when no upstream exists (*node* is the origin).
+        """
+        path = self.routing_path
+        try:
+            index = path.index(node)
+        except ValueError:
+            return path[-1] if path else -1
+        return path[index - 1] if index > 0 else -1
+
+    def dedup_key(self) -> int:
+        """Key identifying byte-identical retransmitted copies."""
+        return self.transfer_id
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Hop-by-hop acknowledgement of one :class:`PacketFrame` copy.
+
+    ``acker`` is the broker confirming reception; ``transfer_id`` names the
+    copy being confirmed (Algorithm 2 caches one packet per transmission and
+    releases it on the matching ACK).
+    """
+
+    msg_id: int
+    acker: int
+    transfer_id: int

@@ -1,0 +1,27 @@
+"""Routing strategies: DCRD lives in :mod:`repro.core`; baselines live here."""
+
+from repro.routing.base import ProtocolParams, RoutingStrategy, RuntimeContext
+from repro.routing.multipath import MultipathStrategy
+from repro.routing.oracle import OracleStrategy
+from repro.routing.paths import (
+    k_shortest_delay_paths,
+    least_overlapping_path,
+    path_delay,
+    shared_links,
+)
+from repro.routing.trees import DTreeStrategy, RTreeStrategy, TreeStrategy
+
+__all__ = [
+    "DTreeStrategy",
+    "MultipathStrategy",
+    "OracleStrategy",
+    "ProtocolParams",
+    "RTreeStrategy",
+    "RoutingStrategy",
+    "RuntimeContext",
+    "TreeStrategy",
+    "k_shortest_delay_paths",
+    "least_overlapping_path",
+    "path_delay",
+    "shared_links",
+]

@@ -1,0 +1,150 @@
+"""Hop-by-hop ARQ: send one frame copy to a neighbour, retrying up to ``m``.
+
+DCRD and the tree/multipath baselines all use the same per-link mechanism
+(§III, §IV-D7): transmit, wait ``ack_timeout`` for the hop-by-hop ACK,
+retransmit on silence, and after ``m`` unacknowledged transmissions declare
+the link attempt failed. What differs between schemes is only the *reaction*
+to success/failure, expressed here as callbacks.
+
+:class:`ArqSender` is shared by all brokers of a run (transfer ids are
+globally unique, so one table suffices) and tracks every outstanding copy.
+
+The *timeout policy* is pluggable: the paper's static
+``factor * alpha`` timer is the default
+(:class:`MonitorTimeoutPolicy`); the congestion extension substitutes an
+RTT-tracking policy (see :mod:`repro.extensions.adaptive`). Policies
+receive Karn-filtered RTT samples (first-attempt ACKs only, so a sample is
+never ambiguous between a transmission and its retransmission).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Protocol
+
+from repro.overlay.links import FrameKind
+from repro.pubsub.messages import AckFrame, PacketFrame
+from repro.routing.base import RuntimeContext
+from repro.sim.process import Timer
+
+
+class TimeoutPolicy(Protocol):
+    """Decides how long a sender waits for each hop-by-hop ACK."""
+
+    def timeout(self, src: int, dst: int) -> float:
+        """Current ACK timeout for the (src, dst) link direction."""
+        ...
+
+    def on_sample(self, src: int, dst: int, rtt: float) -> None:
+        """Feed one unambiguous (first-attempt) RTT observation."""
+        ...
+
+
+class MonitorTimeoutPolicy:
+    """The paper's static timer: ``ack_timeout_factor * alpha`` (+slack)."""
+
+    def __init__(self, ctx: RuntimeContext) -> None:
+        self.ctx = ctx
+
+    def timeout(self, src: int, dst: int) -> float:
+        """Static timeout from the monitor's propagation-delay estimate."""
+        alpha = self.ctx.monitor.estimate(src, dst).alpha
+        return self.ctx.params.ack_timeout(alpha)
+
+    def on_sample(self, src: int, dst: int, rtt: float) -> None:
+        """Static policy: samples are ignored."""
+
+
+@dataclass
+class _Outstanding:
+    """One unacknowledged frame copy and its retry state."""
+
+    src: int
+    dst: int
+    frame: PacketFrame
+    attempts: int
+    timer: Timer
+    on_acked: Callable[[PacketFrame], None]
+    on_failed: Callable[[PacketFrame], None]
+    sent_at: float = 0.0
+
+
+class ArqSender:
+    """Reliable-ish single-hop delivery with an ``m``-transmission budget."""
+
+    def __init__(
+        self, ctx: RuntimeContext, timeout_policy: Optional[TimeoutPolicy] = None
+    ) -> None:
+        self.ctx = ctx
+        self.timeout_policy: TimeoutPolicy = (
+            timeout_policy if timeout_policy is not None else MonitorTimeoutPolicy(ctx)
+        )
+        self._outstanding: Dict[int, _Outstanding] = {}
+        self.acked = 0
+        self.failed = 0
+        self.retransmissions = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Number of copies currently awaiting an ACK."""
+        return len(self._outstanding)
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        frame: PacketFrame,
+        on_acked: Callable[[PacketFrame], None],
+        on_failed: Callable[[PacketFrame], None],
+    ) -> None:
+        """Transmit *frame* from *src* to the adjacent *dst* with ARQ.
+
+        Exactly one of the callbacks eventually fires: ``on_acked(frame)``
+        when the neighbour confirms reception, ``on_failed(frame)`` after
+        ``m`` transmissions went unacknowledged.
+        """
+        entry = _Outstanding(
+            src=src,
+            dst=dst,
+            frame=frame,
+            attempts=0,
+            timer=Timer(self.ctx.sim, self._on_timeout),
+            on_acked=on_acked,
+            on_failed=on_failed,
+        )
+        self._outstanding[frame.transfer_id] = entry
+        self._transmit(entry)
+
+    def handle_ack(self, node: int, sender: int, ack: AckFrame) -> None:
+        """Process an ACK received at *node*; unknown/duplicate ACKs are ignored."""
+        entry = self._outstanding.get(ack.transfer_id)
+        if entry is None or entry.src != node or entry.dst != sender:
+            return
+        del self._outstanding[ack.transfer_id]
+        entry.timer.cancel()
+        self.acked += 1
+        if entry.attempts == 1:
+            # Karn's rule: only first-attempt ACKs give unambiguous RTTs.
+            self.timeout_policy.on_sample(
+                entry.src, entry.dst, self.ctx.sim.now - entry.sent_at
+            )
+        entry.on_acked(entry.frame)
+
+    # ------------------------------------------------------------------
+    def _transmit(self, entry: _Outstanding) -> None:
+        entry.attempts += 1
+        if entry.attempts > 1:
+            self.retransmissions += 1
+        entry.sent_at = self.ctx.sim.now
+        self.ctx.network.transmit(entry.src, entry.dst, entry.frame, FrameKind.DATA)
+        entry.timer.start(self.timeout_policy.timeout(entry.src, entry.dst), entry)
+
+    def _on_timeout(self, entry: _Outstanding) -> None:
+        if entry.frame.transfer_id not in self._outstanding:
+            return
+        if entry.attempts < self.ctx.params.m:
+            self._transmit(entry)
+            return
+        del self._outstanding[entry.frame.transfer_id]
+        self.failed += 1
+        entry.on_failed(entry.frame)

@@ -1,0 +1,118 @@
+"""Path utilities shared by the baseline strategies.
+
+The Multipath baseline (§IV-B) needs k-shortest-delay simple paths and a
+minimum-overlap selection rule; the tree baselines need per-pair shortest
+paths under two different metrics. All helpers work on a
+:class:`~repro.overlay.topology.Topology` plus (optionally) the monitor's
+per-link delay estimates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.overlay.monitor import LinkEstimate
+from repro.overlay.topology import Edge, Topology, canonical_edge
+from repro.util.errors import RoutingError
+from repro.util.validation import require
+
+Path = List[int]
+
+
+def delay_graph(
+    topology: Topology, estimates: Optional[Dict[Edge, LinkEstimate]] = None
+) -> nx.Graph:
+    """A weighted graph whose edge weights are (estimated) link delays."""
+    graph = nx.Graph()
+    graph.add_nodes_from(topology.nodes)
+    for edge in topology.edges():
+        if estimates is not None:
+            weight = estimates[edge].alpha
+        else:
+            weight = topology.delay(*edge)
+        graph.add_edge(*edge, weight=weight)
+    return graph
+
+
+def path_delay(topology: Topology, path: Sequence[int]) -> float:
+    """Total propagation delay along *path* (seconds)."""
+    return sum(
+        topology.delay(path[i], path[i + 1]) for i in range(len(path) - 1)
+    )
+
+
+def path_links(path: Sequence[int]) -> Set[Edge]:
+    """The canonical link set of *path*."""
+    return {
+        canonical_edge(path[i], path[i + 1]) for i in range(len(path) - 1)
+    }
+
+
+def shared_links(path_a: Sequence[int], path_b: Sequence[int]) -> int:
+    """Number of overlay links the two paths have in common."""
+    return len(path_links(path_a) & path_links(path_b))
+
+
+def k_shortest_delay_paths(
+    topology: Topology,
+    source: int,
+    target: int,
+    k: int,
+    estimates: Optional[Dict[Edge, LinkEstimate]] = None,
+) -> List[Path]:
+    """Up to *k* shortest-delay simple paths, ascending by delay."""
+    require(k >= 1, f"k must be >= 1, got {k}")
+    if source == target:
+        return [[source]]
+    graph = delay_graph(topology, estimates)
+    generator = nx.shortest_simple_paths(graph, source, target, weight="weight")
+    return list(itertools.islice(generator, k))
+
+
+def least_overlapping_path(
+    topology: Topology,
+    primary: Sequence[int],
+    candidates: Sequence[Path],
+) -> Path:
+    """The candidate sharing fewest links with *primary*.
+
+    This is the paper's secondary-path rule: "another path selected from the
+    top 5 shortest delay paths that has the fewest overlapping links with
+    the shortest delay path". The primary itself is skipped if present; ties
+    break toward the shorter-delay candidate (their input order). With no
+    alternative candidate, the primary is reused (a degenerate topology
+    where duplication cannot diversify).
+    """
+    if not candidates:
+        raise RoutingError("least_overlapping_path needs at least one candidate")
+    primary_list = list(primary)
+    best: Optional[Path] = None
+    best_overlap = -1
+    for candidate in candidates:
+        if list(candidate) == primary_list:
+            continue
+        overlap = shared_links(primary, candidate)
+        if best is None or overlap < best_overlap:
+            best = list(candidate)
+            best_overlap = overlap
+    return best if best is not None else primary_list
+
+
+def build_path_tree(
+    paths: Dict[int, Path],
+) -> Dict[int, Dict[int, int]]:
+    """Compile per-subscriber paths into next-hop tables.
+
+    Input: ``{subscriber: [publisher, ..., subscriber]}``. Output:
+    ``{node: {subscriber: next_hop}}`` — the forwarding table a tree
+    strategy consults at each broker.
+    """
+    table: Dict[int, Dict[int, int]] = {}
+    for subscriber, path in paths.items():
+        for position in range(len(path) - 1):
+            node, next_hop = path[position], path[position + 1]
+            table.setdefault(node, {})[subscriber] = next_hop
+    return table

@@ -1,0 +1,29 @@
+"""Shared utilities: error types, identifier helpers, validation."""
+
+from repro.util.errors import (
+    ConfigurationError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+)
+from repro.util.validation import (
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "ConfigurationError",
+    "ReproError",
+    "RoutingError",
+    "SimulationError",
+    "TopologyError",
+    "require",
+    "require_in_range",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+]

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the DCRD reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch one base type at an API boundary while still distinguishing the
+sub-categories that matter to them.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, workload, or component was configured inconsistently."""
+
+
+class TopologyError(ReproError):
+    """An overlay topology is invalid (disconnected, bad degree, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly."""
+
+
+class RoutingError(ReproError):
+    """A routing strategy hit an unrecoverable internal inconsistency."""

@@ -1,0 +1,55 @@
+"""Small argument-validation helpers.
+
+These keep constructor bodies flat: every public configuration object
+validates its inputs eagerly so that misconfiguration surfaces at build
+time, not hours into a simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.util.errors import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that *value* is strictly positive and return it."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that *value* is >= 0 and return it."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    """Validate that *value* lies in the closed interval [0, 1] and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Validate ``low <= value <= high`` and return *value*."""
+    if not low <= value <= high:
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def require_type(value: Any, expected: type, name: str) -> Any:
+    """Validate ``isinstance(value, expected)`` and return *value*."""
+    if not isinstance(value, expected):
+        raise ConfigurationError(
+            f"{name} must be a {expected.__name__}, got {type(value).__name__}"
+        )
+    return value

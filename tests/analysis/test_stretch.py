@@ -1,0 +1,76 @@
+"""Tests for the route-stretch analysis."""
+
+import pytest
+
+from repro.analysis.stretch import delivery_stretches, stretch_report
+from repro.core.forwarding import DcrdStrategy
+from tests.conftest import (
+    ScriptedFailures,
+    attach_brokers,
+    build_ctx,
+    make_topology,
+    single_topic_workload,
+)
+
+
+def diamond():
+    return make_topology(
+        [(0, 1, 0.010), (1, 3, 0.010), (0, 2, 0.020), (2, 3, 0.020), (0, 3, 0.060)]
+    )
+
+
+def run_dcrd(topo, workload, failures=None):
+    ctx = build_ctx(topo, workload, failures=failures)
+    strategy = DcrdStrategy(ctx)
+    strategy.setup()
+    attach_brokers(ctx, strategy)
+    spec = workload.topics[0]
+    ctx.metrics.expect(1, 0, 0.0, {s.node: s.deadline for s in spec.subscriptions})
+    strategy.publish(spec, msg_id=1)
+    ctx.sim.run(until=20.0)
+    return ctx
+
+
+def test_stretch_one_on_direct_delivery():
+    topo = diamond()
+    workload = single_topic_workload(0, [(3, 1.0)])
+    ctx = run_dcrd(topo, workload)
+    # DCRD prefers 0-1-3 (2 hops); shortest hop count is 1 (direct link):
+    # stretch 2.0 — delay-optimal is not hop-optimal here.
+    stretches = delivery_stretches(ctx.metrics, topo, workload)
+    assert stretches == [pytest.approx(2.0)]
+
+
+def test_stretch_grows_under_detours():
+    topo = diamond()
+    failures = ScriptedFailures({(0, 1): [(0.0, 1e9)], (0, 3): [(0.0, 1e9)]})
+    workload = single_topic_workload(0, [(3, 1.0)])
+    ctx = run_dcrd(topo, workload, failures=failures)
+    stretches = delivery_stretches(ctx.metrics, topo, workload)
+    assert stretches and stretches[0] >= 2.0
+
+
+def test_report_statistics():
+    topo = diamond()
+    workload = single_topic_workload(0, [(3, 1.0)])
+    ctx = run_dcrd(topo, workload)
+    report = stretch_report(ctx.metrics, topo, workload)
+    assert report.samples == 1
+    assert report.mean == report.p50 == report.max
+    assert report.as_dict()["samples"] == 1
+
+
+def test_empty_report():
+    topo = diamond()
+    workload = single_topic_workload(0, [(3, 1.0)])
+    ctx = build_ctx(topo, workload)
+    report = stretch_report(ctx.metrics, topo, workload)
+    assert report.samples == 0 and report.mean is None
+
+
+def test_hops_recorded_on_first_copy_only():
+    topo = diamond()
+    workload = single_topic_workload(0, [(3, 1.0)])
+    ctx = run_dcrd(topo, workload)
+    outcome = ctx.metrics.outcome(1, 3)
+    assert outcome.hops == 2

@@ -1,0 +1,88 @@
+"""Tests for the message-journey tracer."""
+
+import pytest
+
+from repro.analysis.trace import trace_messages
+from repro.core.forwarding import DcrdStrategy
+from tests.conftest import (
+    ScriptedFailures,
+    attach_brokers,
+    build_ctx,
+    make_topology,
+    single_topic_workload,
+)
+
+ALWAYS = (0.0, 1e9)
+
+
+def diamond():
+    return make_topology(
+        [(0, 1, 0.010), (1, 3, 0.010), (0, 2, 0.020), (2, 3, 0.020)]
+    )
+
+
+def run_traced(topo, workload, failures=None):
+    ctx = build_ctx(topo, workload, failures=failures)
+    tracer = trace_messages(ctx.network)
+    strategy = DcrdStrategy(ctx)
+    strategy.setup()
+    attach_brokers(ctx, strategy)
+    spec = workload.topics[0]
+    ctx.metrics.expect(1, 0, 0.0, {s.node: s.deadline for s in spec.subscriptions})
+    strategy.publish(spec, msg_id=1)
+    ctx.sim.run(until=10.0)
+    return ctx, tracer
+
+
+def test_clean_delivery_has_two_hops():
+    topo = diamond()
+    workload = single_topic_workload(0, [(3, 1.0)])
+    ctx, tracer = run_traced(topo, workload)
+    trace = tracer.trace(1)
+    assert trace.transmissions == 2
+    assert trace.losses == 0
+    assert [(h.src, h.dst) for h in trace.hops] == [(0, 1), (1, 3)]
+
+
+def test_failure_shows_lost_hops_and_detour():
+    topo = diamond()
+    failures = ScriptedFailures({(0, 1): [ALWAYS]})
+    workload = single_topic_workload(0, [(3, 1.0)])
+    ctx, tracer = run_traced(topo, workload, failures=failures)
+    trace = tracer.trace(1)
+    assert trace.losses == 1  # the attempt on the dead link
+    assert (0, 2) in [(h.src, h.dst) for h in trace.hops]
+
+
+def test_describe_mentions_delivery_status():
+    topo = diamond()
+    workload = single_topic_workload(0, [(3, 1.0)])
+    ctx, tracer = run_traced(topo, workload)
+    text = tracer.trace(1).describe(ctx.metrics)
+    assert "message 1" in text
+    assert "delivered to 3" in text
+    assert "on time" in text
+
+
+def test_untraced_message_is_empty():
+    topo = diamond()
+    workload = single_topic_workload(0, [(3, 1.0)])
+    ctx, tracer = run_traced(topo, workload)
+    assert tracer.trace(99).transmissions == 0
+
+
+def test_traced_messages_lists_ids():
+    topo = diamond()
+    workload = single_topic_workload(0, [(3, 1.0)])
+    ctx, tracer = run_traced(topo, workload)
+    assert tracer.traced_messages() == [1]
+
+
+def test_detach_restores_transmit():
+    topo = diamond()
+    workload = single_topic_workload(0, [(3, 1.0)])
+    ctx = build_ctx(topo, workload)
+    tracer = trace_messages(ctx.network)
+    original_wrapped = ctx.network.transmit
+    tracer.detach()
+    assert ctx.network.transmit != original_wrapped

@@ -1,0 +1,106 @@
+"""Unit and property tests for Eq. 1 (the m-transmission link model)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.linkmath import (
+    expected_delay_m,
+    expected_delivery_ratio_m,
+    link_params_m,
+)
+from repro.util.errors import ConfigurationError
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+positive_probs = st.floats(min_value=1e-6, max_value=1.0, allow_nan=False)
+delays = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+m_values = st.integers(min_value=1, max_value=8)
+
+
+class TestDeliveryRatio:
+    def test_single_transmission_is_gamma1(self):
+        assert expected_delivery_ratio_m(0.7, 1) == pytest.approx(0.7)
+
+    def test_two_transmissions_closed_form(self):
+        # 1 - (1 - 0.5)^2 = 0.75
+        assert expected_delivery_ratio_m(0.5, 2) == pytest.approx(0.75)
+
+    def test_perfect_link_stays_one(self):
+        for m in (1, 3, 10):
+            assert expected_delivery_ratio_m(1.0, m) == pytest.approx(1.0)
+
+    def test_dead_link_stays_zero(self):
+        assert expected_delivery_ratio_m(0.0, 5) == 0.0
+
+    @given(gamma=probabilities, m=m_values)
+    def test_ratio_stays_in_unit_interval(self, gamma, m):
+        value = expected_delivery_ratio_m(gamma, m)
+        assert 0.0 <= value <= 1.0
+
+    @given(gamma=positive_probs, m=m_values)
+    def test_more_transmissions_never_hurt(self, gamma, m):
+        assert expected_delivery_ratio_m(gamma, m + 1) >= expected_delivery_ratio_m(
+            gamma, m
+        )
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_delivery_ratio_m(1.5, 1)
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_delivery_ratio_m(0.5, 0)
+
+
+class TestExpectedDelay:
+    def test_m_one_is_alpha1(self):
+        assert expected_delay_m(0.02, 0.3, 1) == pytest.approx(0.02)
+
+    def test_perfect_link_always_first_attempt(self):
+        assert expected_delay_m(0.02, 1.0, 4) == pytest.approx(0.02)
+
+    def test_dead_link_is_infinite(self):
+        assert math.isinf(expected_delay_m(0.02, 0.0, 3))
+
+    def test_two_transmissions_closed_form(self):
+        # gamma = 0.5, m = 2: (1*0.5 + 2*0.25) / 0.75 = 4/3 attempts.
+        assert expected_delay_m(1.0, 0.5, 2) == pytest.approx(4.0 / 3.0)
+
+    @given(alpha=delays, gamma=positive_probs, m=m_values)
+    def test_delay_bounded_by_attempt_extremes(self, alpha, gamma, m):
+        value = expected_delay_m(alpha, gamma, m)
+        # Tiny gammas suffer float cancellation in numerator/denominator;
+        # allow a relative slack accordingly.
+        assert alpha * (1 - 1e-6) - 1e-12 <= value <= m * alpha * (1 + 1e-6) + 1e-12
+
+    @given(alpha=st.floats(min_value=1e-3, max_value=10.0), gamma=positive_probs, m=m_values)
+    def test_delay_scales_linearly_with_alpha(self, alpha, gamma, m):
+        unit = expected_delay_m(1.0, gamma, m)
+        assert expected_delay_m(alpha, gamma, m) == pytest.approx(alpha * unit, rel=1e-9)
+
+    @given(gamma=st.floats(min_value=0.01, max_value=0.99), m=m_values)
+    def test_weaker_links_wait_longer(self, gamma, m):
+        strong = expected_delay_m(1.0, min(gamma + 0.01, 1.0), m)
+        weak = expected_delay_m(1.0, gamma, m)
+        assert weak >= strong - 1e-9
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_delay_m(-0.1, 0.5, 1)
+
+
+class TestLinkParams:
+    def test_returns_both_quantities(self):
+        alpha_m, gamma_m = link_params_m(0.02, 0.5, 2)
+        assert alpha_m == pytest.approx(expected_delay_m(0.02, 0.5, 2))
+        assert gamma_m == pytest.approx(0.75)
+
+    @given(alpha=delays, gamma=probabilities, m=m_values)
+    def test_consistent_with_components(self, alpha, gamma, m):
+        alpha_m, gamma_m = link_params_m(alpha, gamma, m)
+        assert gamma_m == expected_delivery_ratio_m(gamma, m)
+        if gamma > 0:
+            assert alpha_m == expected_delay_m(alpha, gamma, m)
+        else:
+            assert math.isinf(alpha_m)

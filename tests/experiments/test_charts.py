@@ -1,0 +1,56 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.charts import chart_sweep, render_chart
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import sweep
+
+FAST = ExperimentConfig(duration=4.0, drain=1.0, num_topics=2, num_nodes=5)
+
+
+def test_empty_curves():
+    assert render_chart({}) == "(no curves)"
+
+
+def test_symbols_and_legend_present():
+    curves = {"A": [(0.0, 0.0), (1.0, 1.0)], "B": [(0.0, 1.0), (1.0, 0.0)]}
+    text = render_chart(curves, title="demo")
+    assert "demo" in text
+    assert "*=A" in text and "o=B" in text
+    assert "*" in text and "o" in text
+
+
+def test_extremes_hit_corners():
+    curves = {"A": [(0.0, 0.0), (1.0, 1.0)]}
+    text = render_chart(curves, height=5, width=11)
+    rows = [line for line in text.splitlines() if line.strip().startswith("|")]
+    assert rows[0].replace("|", "").strip()[-1] == "*"   # top row, right side
+    assert rows[-1].replace("|", "").strip()[0] == "*"   # bottom row, left side
+
+
+def test_y_range_override():
+    curves = {"A": [(0.0, 0.5)]}
+    text = render_chart(curves, y_range=(0.0, 1.0))
+    assert "   1.000 +" in text and "   0.000 +" in text
+
+
+def test_flat_curve_does_not_crash():
+    curves = {"A": [(0.0, 0.7), (1.0, 0.7)]}
+    text = render_chart(curves)
+    assert "*" in text
+
+
+def test_chart_sweep_end_to_end():
+    configs = {0.0: FAST, 0.1: FAST.with_updates(failure_probability=0.1)}
+    result = sweep("demo", "pf", configs, seeds=(1,), strategies=("DCRD", "D-Tree"))
+    text = chart_sweep(result, "delivery_ratio", y_range=(0.0, 1.0))
+    assert "delivery_ratio" in text
+    assert "*=DCRD" in text
+
+
+def test_chart_sweep_rejects_non_numeric_axis():
+    configs = {"analytic": FAST}
+    result = sweep("demo", "mode", configs, seeds=(1,), strategies=("DCRD",))
+    with pytest.raises(ValueError):
+        chart_sweep(result, "delivery_ratio")

@@ -1,0 +1,85 @@
+"""Smoke tests of every figure driver at miniature scale.
+
+Each driver must execute the exact code path of its paper figure — the
+scale knobs (duration, seeds, strategies) are shrunk so the whole module
+runs in seconds.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+TINY = dict(duration=4.0, seeds=(0,))
+TWO = ("DCRD", "D-Tree")
+
+
+def test_figure2_axis_and_metrics():
+    result = figures.figure2(strategies=TWO, **TINY)
+    assert result.x_values == list(figures.FAILURE_PROBABILITIES)
+    for metric in figures.PANEL_METRICS:
+        series = result.series("DCRD", metric)
+        assert len(series) == len(figures.FAILURE_PROBABILITIES)
+
+
+def test_figure3_uses_degree_five(monkeypatch):
+    captured = {}
+    original = figures.sweep
+
+    def spy(name, x_label, configs, seeds, strategies, progress=None):
+        captured.update(configs)
+        return original(name, x_label, configs, seeds, strategies, progress)
+
+    monkeypatch.setattr(figures, "sweep", spy)
+    figures.figure3(strategies=("DCRD",), **TINY)
+    assert all(config.degree == 5 for config in captured.values())
+    assert all(config.topology_kind == "regular" for config in captured.values())
+
+
+def test_figure4_sweeps_degree():
+    result = figures.figure4(strategies=("DCRD",), **TINY)
+    assert result.x_values == list(figures.NODE_DEGREES)
+
+
+def test_figure5_sweeps_size():
+    result = figures.figure5(
+        duration=3.0, seeds=(0,), sizes=(10, 20), strategies=("DCRD",)
+    )
+    assert result.x_values == [10, 20]
+
+
+def test_figure6_sweeps_deadline_factor(monkeypatch):
+    captured = {}
+    original = figures.sweep
+
+    def spy(name, x_label, configs, seeds, strategies, progress=None):
+        captured.update(configs)
+        return original(name, x_label, configs, seeds, strategies, progress)
+
+    monkeypatch.setattr(figures, "sweep", spy)
+    result = figures.figure6(strategies=("DCRD",), **TINY)
+    assert result.x_values == list(figures.DEADLINE_FACTORS)
+    assert {config.deadline_factor for config in captured.values()} == set(
+        figures.DEADLINE_FACTORS
+    )
+
+
+def test_figure7_returns_cdfs_for_both_topologies():
+    curves = figures.figure7(duration=6.0, seeds=(0,))
+    assert set(curves) == {"full-mesh", "degree-8"}
+    for grid, values in curves.values():
+        assert len(grid) == len(values)
+        assert values == sorted(values)  # CDF is monotone
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+
+def test_figure8_produces_one_sweep_per_m():
+    results = figures.figure8(
+        duration=3.0,
+        seeds=(0,),
+        strategies=("DCRD",),
+        m_values=(1, 2),
+        loss_rates=(1e-3, 1e-1),
+    )
+    assert set(results) == {1, 2}
+    for m, result in results.items():
+        assert result.x_values == [1e-3, 1e-1]

@@ -1,0 +1,61 @@
+"""Unit tests for report rendering."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import (
+    format_table,
+    format_value,
+    render_cdf,
+    render_comparison,
+    render_panels,
+    render_sweep,
+)
+from repro.experiments.runner import run_comparison
+from repro.experiments.sweeps import sweep
+
+FAST = ExperimentConfig(duration=5.0, drain=1.0, num_topics=2, num_nodes=5)
+
+
+def small_sweep():
+    configs = {0.0: FAST}
+    return sweep("demo", "Pf", configs, seeds=(1,), strategies=("DCRD",))
+
+
+def test_format_value_floats_and_ints():
+    assert format_value(0.123456) == "0.1235"
+    assert format_value(7) == "7"
+    assert format_value("x") == "x"
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "bb"], [[1, 2.0], [33, 4.5]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    # All rows have the same rendered width.
+    assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+
+def test_render_sweep_contains_title_and_strategy():
+    text = render_sweep(small_sweep(), "delivery_ratio")
+    assert "demo" in text and "Delivery Ratio" in text and "DCRD" in text
+
+
+def test_render_panels_concatenates_metrics():
+    text = render_panels(small_sweep(), ("delivery_ratio", "qos_delivery_ratio"))
+    assert "Delivery Ratio" in text and "QoS Delivery Ratio" in text
+
+
+def test_render_cdf():
+    curves = {"full-mesh": ([1.0, 1.5], [0.4, 1.0])}
+    text = render_cdf(curves)
+    assert "full-mesh" in text and "1.5000" in text
+
+
+def test_render_cdf_empty():
+    assert render_cdf({}) == "(no curves)"
+
+
+def test_render_comparison_lists_all_strategies():
+    results = run_comparison(FAST, seed=2, strategies=("DCRD", "ORACLE"))
+    text = render_comparison(results)
+    assert "DCRD" in text and "ORACLE" in text and "pkts/sub" in text

@@ -1,0 +1,75 @@
+"""Unit tests for repetition averaging and axis sweeps."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_single
+from repro.experiments.sweeps import run_repetitions, sweep
+
+FAST = ExperimentConfig(duration=6.0, drain=2.0, num_topics=2, num_nodes=6)
+
+
+def test_run_repetitions_averages_ratios():
+    merged = run_repetitions(FAST, "DCRD", seeds=(1, 2))
+    a = run_single(FAST, "DCRD", seed=1)
+    b = run_single(FAST, "DCRD", seed=2)
+    assert merged.delivery_ratio == pytest.approx(
+        (a.delivery_ratio + b.delivery_ratio) / 2
+    )
+    assert merged.expected_deliveries == a.expected_deliveries + b.expected_deliveries
+
+
+def test_run_repetitions_reports_progress():
+    lines = []
+    run_repetitions(FAST, "DCRD", seeds=(1,), progress=lines.append)
+    assert len(lines) == 1 and "DCRD" in lines[0]
+
+
+def test_sweep_grid_complete():
+    configs = {
+        0.0: FAST,
+        0.1: FAST.with_updates(failure_probability=0.1),
+    }
+    result = sweep(
+        "test", "Pf", configs, seeds=(1,), strategies=("DCRD", "D-Tree")
+    )
+    assert result.x_values == [0.0, 0.1]
+    assert result.strategies == ["DCRD", "D-Tree"]
+    for x in result.x_values:
+        for strategy in result.strategies:
+            assert result.cell(x, strategy).strategy == strategy
+
+
+def test_sweep_series_extraction():
+    configs = {0.0: FAST, 0.1: FAST.with_updates(failure_probability=0.1)}
+    result = sweep("test", "Pf", configs, seeds=(1,), strategies=("DCRD",))
+    series = result.series("DCRD", "delivery_ratio")
+    assert len(series) == 2
+    assert all(0.0 <= v <= 1.0 for v in series)
+
+
+def test_parallel_workers_match_serial_results():
+    configs = {0.0: FAST, 0.08: FAST.with_updates(failure_probability=0.08)}
+    serial = sweep("s", "pf", configs, seeds=(1, 2), strategies=("DCRD",))
+    parallel = sweep(
+        "s", "pf", configs, seeds=(1, 2), strategies=("DCRD",), workers=2
+    )
+    for x in serial.x_values:
+        assert (
+            serial.cell(x, "DCRD").as_dict() == parallel.cell(x, "DCRD").as_dict()
+        )
+
+
+def test_parallel_repetitions_match_serial():
+    serial = run_repetitions(FAST, "DCRD", seeds=(1, 2))
+    parallel = run_repetitions(FAST, "DCRD", seeds=(1, 2), workers=2)
+    assert serial.as_dict() == parallel.as_dict()
+
+
+def test_sweep_metrics_table_layout():
+    configs = {0.0: FAST}
+    result = sweep("test", "Pf", configs, seeds=(1,), strategies=("DCRD", "ORACLE"))
+    rows = result.metrics_table("qos_delivery_ratio")
+    assert len(rows) == 1
+    assert rows[0][0] == 0.0
+    assert len(rows[0]) == 3

@@ -1,0 +1,28 @@
+"""Tests for the design-choice ablations."""
+
+from repro.extensions.ablations import (
+    ack_timeout_ablation,
+    monitoring_mode_ablation,
+)
+
+
+def test_monitoring_modes_both_run():
+    result = monitoring_mode_ablation(duration=5.0, seeds=(0,))
+    assert set(result.x_values) == {"analytic", "sampled"}
+    for mode in result.x_values:
+        summary = result.cell(mode, "DCRD")
+        assert summary.delivery_ratio > 0.9
+
+
+def test_ack_timeout_factor_sweeps():
+    result = ack_timeout_ablation(duration=5.0, seeds=(0,), factors=(2.0, 4.0))
+    assert result.x_values == [2.0, 4.0]
+    for factor in result.x_values:
+        assert result.cell(factor, "DCRD").delivery_ratio > 0.95
+
+
+def test_ack_timeout_factor_below_two_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ack_timeout_ablation(duration=5.0, seeds=(0,), factors=(1.0,))

@@ -1,0 +1,45 @@
+"""Tests for the node-failure study (§V extension)."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_single
+from repro.extensions.node_failures import node_failure_study
+
+
+def test_study_axis_and_strategies():
+    result = node_failure_study(
+        duration=4.0,
+        seeds=(0,),
+        probabilities=(0.0, 0.05),
+        strategies=("DCRD", "D-Tree"),
+    )
+    assert result.x_values == [0.0, 0.05]
+    assert result.strategies == ["DCRD", "D-Tree"]
+
+
+def test_node_crashes_hurt_delivery():
+    base = ExperimentConfig(
+        topology_kind="regular",
+        degree=6,
+        duration=15.0,
+        failure_probability=0.0,
+        num_topics=5,
+    )
+    healthy = run_single(base, "DCRD", seed=1)
+    crashing = run_single(
+        base.with_updates(node_failure_probability=0.2), "DCRD", seed=1
+    )
+    assert crashing.delivery_ratio < healthy.delivery_ratio
+
+
+def test_dcrd_degrades_more_gracefully_than_tree_under_crashes():
+    config = ExperimentConfig(
+        topology_kind="regular",
+        degree=6,
+        duration=15.0,
+        failure_probability=0.0,
+        node_failure_probability=0.08,
+        num_topics=5,
+    )
+    dcrd = run_single(config, "DCRD", seed=2)
+    dtree = run_single(config, "D-Tree", seed=2)
+    assert dcrd.delivery_ratio >= dtree.delivery_ratio

@@ -1,0 +1,114 @@
+"""Property-based tests of DCRD's delivery guarantee.
+
+The paper claims delivery "as long as there exists a path (without
+persistent failures) from the publisher and subscriber". We verify the
+strongest testable form: under arbitrary *persistent* link outages, DCRD
+delivers exactly when the surviving subgraph still connects publisher and
+subscriber, and always terminates.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.forwarding import DcrdStrategy
+from repro.overlay.topology import canonical_edge, full_mesh, random_regular
+from tests.conftest import (
+    ScriptedFailures,
+    attach_brokers,
+    build_ctx,
+    make_topology,
+    single_topic_workload,
+)
+
+ALWAYS = (0.0, 1e12)
+
+
+def run_dcrd(topo, publisher, subscriber, dead_edges, deadline=10.0, until=60.0):
+    failures = ScriptedFailures({edge: [ALWAYS] for edge in dead_edges})
+    workload = single_topic_workload(publisher, [(subscriber, deadline)])
+    ctx = build_ctx(topo, workload, failures=failures)
+    strategy = DcrdStrategy(ctx)
+    strategy.setup()
+    attach_brokers(ctx, strategy)
+    spec = workload.topics[0]
+    ctx.metrics.expect(1, 0, 0.0, {subscriber: deadline})
+    strategy.publish(spec, msg_id=1)
+    ctx.sim.run(until=until)
+    return ctx
+
+
+def surviving_graph(topo, dead_edges):
+    graph = nx.Graph()
+    graph.add_nodes_from(topo.nodes)
+    dead = {canonical_edge(*edge) for edge in dead_edges}
+    for edge in topo.edges():
+        if edge not in dead:
+            graph.add_edge(*edge)
+    return graph
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_delivery_iff_survivor_path_exists_in_mesh(rng, data):
+    topo = full_mesh(6, rng)
+    all_edges = sorted(topo.edges())
+    dead = data.draw(
+        st.lists(st.sampled_from(all_edges), unique=True, max_size=len(all_edges))
+    )
+    ctx = run_dcrd(topo, publisher=0, subscriber=5, dead_edges=dead)
+    connected = nx.has_path(surviving_graph(topo, dead), 0, 5)
+    outcome = ctx.metrics.outcome(1, 5)
+    assert outcome.delivered == connected
+    # Protocol settles either way (no event storm left behind).
+    assert ctx.sim.pending_events == 0
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(data=st.data())
+def test_delivery_iff_survivor_path_exists_in_sparse_graph(rng, data):
+    topo = random_regular(10, 3, rng)
+    all_edges = sorted(topo.edges())
+    dead = data.draw(st.lists(st.sampled_from(all_edges), unique=True, max_size=8))
+    ctx = run_dcrd(topo, publisher=0, subscriber=9, dead_edges=dead)
+    connected = nx.has_path(surviving_graph(topo, dead), 0, 9)
+    assert ctx.metrics.outcome(1, 9).delivered == connected
+
+
+def test_delivery_through_forced_long_detour():
+    # Ring of 6: cut one side entirely; DCRD must go the long way round.
+    topo = make_topology(
+        [(i, (i + 1) % 6, 0.010) for i in range(6)]
+    )
+    ctx = run_dcrd(topo, 0, 3, dead_edges=[(0, 1)])
+    outcome = ctx.metrics.outcome(1, 3)
+    assert outcome.delivered
+    # The long way is 0-5-4-3 after first burning a timeout on 0-1's side?
+    # Either direction works; what matters is delivery despite the cut.
+
+
+def test_bounce_chain_across_multiple_levels():
+    # A two-level tree with the only working leaf link far from the first
+    # branch tried: forces bounces through intermediate nodes.
+    topo = make_topology(
+        [
+            (0, 1, 0.010),
+            (1, 2, 0.010),
+            (2, 5, 0.010),
+            (0, 3, 0.020),
+            (3, 4, 0.020),
+            (4, 5, 0.020),
+        ]
+    )
+    # Kill the fast branch deep inside (2-5), so the packet travels
+    # 0-1-2, bounces 2->1->0, then succeeds via 3-4-5.
+    ctx = run_dcrd(topo, 0, 5, dead_edges=[(2, 5)])
+    assert ctx.metrics.outcome(1, 5).delivered

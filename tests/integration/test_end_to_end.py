@@ -1,0 +1,97 @@
+"""End-to-end integration tests across the full stack."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import DEFAULT_STRATEGIES, run_comparison, run_single
+
+MESH = ExperimentConfig(duration=20.0, drain=5.0)
+DEG5 = ExperimentConfig(
+    topology_kind="regular", degree=5, duration=20.0, drain=5.0
+)
+
+
+class TestLosslessBaseline:
+    """With no hazards at all, everything must be perfect."""
+
+    def test_all_strategies_reach_100_percent(self):
+        config = MESH.with_updates(loss_rate=0.0)
+        for name in DEFAULT_STRATEGIES:
+            summary = run_single(config, name, seed=0)
+            assert summary.delivery_ratio == pytest.approx(1.0), name
+            assert summary.qos_delivery_ratio == pytest.approx(1.0), name
+
+    def test_rtree_sends_exactly_one_packet_per_subscriber_in_mesh(self):
+        # Every publisher-subscriber pair has a direct link in a full mesh.
+        config = MESH.with_updates(loss_rate=0.0)
+        summary = run_single(config, "R-Tree", seed=0)
+        assert summary.packets_per_subscriber == pytest.approx(1.0)
+
+    def test_dcrd_delay_is_shortest_path_delay(self):
+        config = MESH.with_updates(loss_rate=0.0, deadline_factor=3.0)
+        summary = run_single(config, "DCRD", seed=0)
+        # Deadline = 3x shortest delay; DCRD without failures follows the
+        # minimum-expected-delay route, so nothing can be late.
+        assert summary.qos_delivery_ratio == pytest.approx(1.0)
+        assert summary.duplicates == 0
+
+
+class TestUnderFailures:
+    def test_dcrd_delivers_everything_in_well_connected_mesh(self):
+        config = MESH.with_updates(failure_probability=0.06)
+        summary = run_single(config, "DCRD", seed=1)
+        assert summary.delivery_ratio == pytest.approx(1.0, abs=0.005)
+
+    def test_ordering_of_strategies_matches_paper(self):
+        config = DEG5.with_updates(failure_probability=0.06)
+        results = run_comparison(config, seed=2)
+        assert (
+            results["ORACLE"].qos_delivery_ratio
+            >= results["DCRD"].qos_delivery_ratio
+            > results["D-Tree"].qos_delivery_ratio
+        )
+        assert (
+            results["DCRD"].delivery_ratio > results["R-Tree"].delivery_ratio
+        )
+
+    def test_multipath_sends_far_more_traffic_than_dcrd(self):
+        config = DEG5.with_updates(failure_probability=0.06)
+        results = run_comparison(config, seed=2, strategies=("DCRD", "Multipath"))
+        assert (
+            results["Multipath"].packets_per_subscriber
+            > 1.5 * results["DCRD"].packets_per_subscriber
+        )
+
+    def test_trees_qos_equals_delivery_ratio(self):
+        # Paper §IV-D1: tree baselines lose packets to failures, not to
+        # lateness, so their two ratios coincide.
+        config = MESH.with_updates(failure_probability=0.08)
+        for name in ("R-Tree", "D-Tree"):
+            summary = run_single(config, name, seed=3)
+            assert summary.qos_delivery_ratio == pytest.approx(
+                summary.delivery_ratio, abs=0.01
+            ), name
+
+    def test_failures_increase_dcrd_traffic(self):
+        calm = run_single(MESH, "DCRD", seed=4)
+        stormy = run_single(
+            MESH.with_updates(failure_probability=0.10), "DCRD", seed=4
+        )
+        assert stormy.packets_per_subscriber > calm.packets_per_subscriber
+
+
+class TestDrainSemantics:
+    def test_messages_published_only_during_window(self):
+        config = MESH.with_updates(duration=10.0, drain=5.0, num_topics=2)
+        summary = run_single(config, "DCRD", seed=5)
+        # Each publisher emits at most ceil(duration / interval) + 1 packets.
+        assert summary.messages_published <= 2 * 12
+
+
+class TestReproducibility:
+    def test_full_stack_determinism(self):
+        config = DEG5.with_updates(failure_probability=0.04)
+        first = run_comparison(config, seed=6)
+        second = run_comparison(config, seed=6)
+        for name in DEFAULT_STRATEGIES:
+            assert first[name].as_dict() == second[name].as_dict(), name

@@ -1,0 +1,89 @@
+"""Property fuzz: random worlds, every strategy, universal invariants.
+
+Hypothesis drives random (topology, hazard, workload, protocol) settings
+through full simulations of every registered strategy and asserts the
+invariants no configuration may violate:
+
+* the run terminates and drains its event queue;
+* delivered <= expected, on_time <= delivered; ratios in [0, 1];
+* every delivered outcome has non-negative delay and hops >= 1 (except
+  publisher-local deliveries);
+* traffic counters are consistent (sent >= delivered per frame kind);
+* the run is reproducible: a second run with the same seed matches.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import STRATEGIES, build_environment
+from repro.overlay.links import FrameKind
+
+configs = st.fixed_dictionaries(
+    {
+        "topology_kind": st.sampled_from(["full_mesh", "regular"]),
+        "num_nodes": st.sampled_from([6, 10, 14]),
+        "degree": st.sampled_from([3, 4, 5]),
+        "failure_probability": st.sampled_from([0.0, 0.05, 0.2]),
+        "loss_rate": st.sampled_from([0.0, 1e-3, 0.05]),
+        "node_failure_probability": st.sampled_from([0.0, 0.05]),
+        "m": st.sampled_from([1, 2]),
+        "deadline_factor": st.sampled_from([1.5, 3.0]),
+        "num_topics": st.sampled_from([2, 4]),
+    }
+)
+
+
+def build_config(params) -> ExperimentConfig:
+    if params["topology_kind"] == "full_mesh":
+        params = dict(params, degree=None)
+    return ExperimentConfig(duration=6.0, drain=4.0, **params)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=configs, seed=st.integers(min_value=0, max_value=999))
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_universal_invariants(strategy, params, seed):
+    config = build_config(params)
+    env = build_environment(config, strategy, seed)
+    summary = env.execute()
+
+    # Termination: nothing left ticking except (possibly) stopped periodic
+    # processes' cancelled events.
+    assert env.ctx.sim.now == config.end_time
+
+    # Accounting sanity.
+    assert 0 <= summary.on_time <= summary.delivered <= summary.expected_deliveries
+    assert 0.0 <= summary.qos_delivery_ratio <= summary.delivery_ratio <= 1.0
+    assert summary.data_transmissions >= 0
+    stats = env.ctx.network.stats
+    for kind in FrameKind:
+        assert stats.delivered[kind] <= stats.sent[kind]
+
+    # Outcome-level sanity.
+    for outcome in env.ctx.metrics.outcomes():
+        if outcome.delivered:
+            assert outcome.delay >= 0.0
+            if outcome.hops is not None:
+                assert outcome.hops >= 0
+
+    # Hazard-free worlds must be perfect for every strategy.
+    if (
+        config.failure_probability == 0.0
+        and config.loss_rate == 0.0
+        and config.node_failure_probability == 0.0
+    ):
+        assert summary.delivery_ratio == pytest.approx(1.0)
+
+
+@settings(max_examples=6, deadline=None)
+@given(params=configs, seed=st.integers(min_value=0, max_value=999))
+def test_bitwise_reproducibility(params, seed):
+    config = build_config(params)
+    first = build_environment(config, "DCRD", seed).execute()
+    second = build_environment(config, "DCRD", seed).execute()
+    assert first.as_dict() == second.as_dict()

@@ -1,0 +1,51 @@
+"""Golden regression pins: exact counters for one fixed world.
+
+Every run derives deterministically from (config, strategy, seed), so these
+exact integers must never change unless a deliberate behavioural change is
+made — in which case updating them is part of reviewing that change.
+(Ratios and delays are derived from these counters; pinning the integer
+counters keeps the test readable and brittle in exactly the right way.)
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_single
+
+GOLDEN_CONFIG = ExperimentConfig(
+    topology_kind="regular",
+    degree=5,
+    num_nodes=16,
+    num_topics=5,
+    failure_probability=0.06,
+    duration=15.0,
+    drain=5.0,
+)
+
+#: (strategy, delivered, on_time, data_transmissions, duplicates) at seed 123.
+GOLDEN = [
+    ("DCRD", 390, 381, 614, 0),
+    ("R-Tree", 360, 360, 526, 0),
+    ("D-Tree", 361, 361, 539, 0),
+    ("ORACLE", 390, 389, 564, 0),
+    ("Multipath", 388, 387, 1769, 325),
+]
+
+
+@pytest.mark.parametrize(
+    "strategy,delivered,on_time,transmissions,duplicates",
+    GOLDEN,
+    ids=[row[0] for row in GOLDEN],
+)
+def test_golden_counters(strategy, delivered, on_time, transmissions, duplicates):
+    summary = run_single(GOLDEN_CONFIG, strategy, seed=123)
+    assert summary.delivered == delivered
+    assert summary.on_time == on_time
+    assert summary.data_transmissions == transmissions
+    assert summary.duplicates == duplicates
+
+
+def test_golden_expected_population():
+    summary = run_single(GOLDEN_CONFIG, "DCRD", seed=123)
+    assert summary.expected_deliveries == 390
+    assert summary.messages_published == 75

@@ -1,0 +1,38 @@
+"""Smoke tests for the top-level experiment driver script."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "scripts" / "run_experiments.py"
+
+
+def run_script(tmp_path, *args):
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT), "--out", str(tmp_path), *args],
+        capture_output=True,
+        text=True,
+        timeout=900,
+        cwd=REPO,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_single_figure_with_verification(tmp_path):
+    out = run_script(
+        tmp_path, "--duration", "8", "--repetitions", "1", "--only", "fig6"
+    )
+    assert (tmp_path / "fig6.txt").exists()
+    assert "QoS Delivery Ratio" in out
+    # The claim verifier ran and reported.
+    assert "[PASS]" in out or "[FAIL]" in out
+
+
+def test_extension_study_selection(tmp_path):
+    out = run_script(
+        tmp_path, "--duration", "8", "--repetitions", "1", "--only", "nodes"
+    )
+    assert (tmp_path / "extension_node_failures.txt").exists()
+    assert "node crash probability" in out

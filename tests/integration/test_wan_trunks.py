@@ -1,0 +1,96 @@
+"""WAN scenario: DCRD routing around trunk failures in a clustered overlay."""
+
+import pytest
+
+from repro.core.forwarding import DcrdStrategy
+from repro.overlay.topology import clustered
+from repro.routing.trees import DTreeStrategy
+from tests.conftest import (
+    ScriptedFailures,
+    attach_brokers,
+    build_ctx,
+    single_topic_workload,
+)
+
+ALWAYS = (0.0, 1e9)
+
+
+def make_wan(rng):
+    return clustered(3, 4, rng, trunks_per_cluster=2)
+
+
+def trunk_edges(topo, size=4):
+    return [
+        (u, v) for u, v in topo.edges() if u // size != v // size
+    ]
+
+
+def run_strategy(strategy_cls, topo, publisher, subscriber, failures, deadline=2.0):
+    workload = single_topic_workload(publisher, [(subscriber, deadline)])
+    ctx = build_ctx(topo, workload, failures=failures)
+    strategy = strategy_cls(ctx)
+    strategy.setup()
+    attach_brokers(ctx, strategy)
+    ctx.metrics.expect(1, 0, 0.0, {subscriber: deadline})
+    strategy.publish(workload.topics[0], msg_id=1)
+    ctx.sim.run(until=30.0)
+    return ctx
+
+
+def test_dcrd_survives_single_trunk_cut(rng):
+    topo = make_wan(rng)
+    trunks = trunk_edges(topo)
+    assert len(trunks) >= 3  # the scenario needs alternatives
+    # Cut one trunk permanently; publisher in cluster 0, subscriber in 2.
+    failures = ScriptedFailures({trunks[0]: [ALWAYS]})
+    ctx = run_strategy(DcrdStrategy, topo, publisher=0, subscriber=11, failures=failures)
+    assert ctx.metrics.outcome(1, 11).delivered
+
+
+def test_dcrd_survives_cutting_every_direct_trunk_between_two_clusters(rng):
+    topo = make_wan(rng)
+    # Kill every trunk touching cluster 2 except those via cluster 1:
+    # force a two-trunk detour (0 -> 1 -> 2) if one exists, else accept
+    # unreachability — the assertion below recomputes ground truth.
+    import networkx as nx
+
+    cut = {
+        edge: [ALWAYS]
+        for edge in trunk_edges(topo)
+        if (edge[0] // 4 == 0 and edge[1] // 4 == 2)
+        or (edge[0] // 4 == 2 and edge[1] // 4 == 0)
+    }
+    failures = ScriptedFailures(cut)
+    surviving = nx.Graph()
+    surviving.add_nodes_from(topo.nodes)
+    for edge in topo.edges():
+        if edge not in failures.down:
+            surviving.add_edge(*edge)
+    reachable = nx.has_path(surviving, 0, 11)
+    ctx = run_strategy(DcrdStrategy, topo, 0, 11, failures)
+    assert ctx.metrics.outcome(1, 11).delivered == reachable
+
+
+def test_fixed_tree_dies_on_its_trunk(rng):
+    topo = make_wan(rng)
+    # Find the trunk the D-Tree actually uses for 0 -> 11 and cut it.
+    workload = single_topic_workload(0, [(11, 2.0)])
+    probe_ctx = build_ctx(topo, workload)
+    probe = DTreeStrategy(probe_ctx)
+    probe.setup()
+    path = [0]
+    node = 0
+    while node != 11:
+        node = probe.next_hop(0, node, 11)
+        path.append(node)
+    used_trunks = [
+        (path[i], path[i + 1])
+        for i in range(len(path) - 1)
+        if path[i] // 4 != path[i + 1] // 4
+    ]
+    assert used_trunks
+    failures = ScriptedFailures({used_trunks[0]: [ALWAYS]})
+    tree_ctx = run_strategy(DTreeStrategy, topo, 0, 11, failures)
+    dcrd_ctx = run_strategy(DcrdStrategy, topo, 0, 11, failures)
+    assert not tree_ctx.metrics.outcome(1, 11).delivered
+    assert dcrd_ctx.metrics.outcome(1, 11).delivered

@@ -1,0 +1,67 @@
+"""Unit and property tests for the CDF helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.cdf import empirical_cdf, interpolate_cdf, percentile
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def test_empirical_cdf_simple():
+    xs, fs = empirical_cdf([3.0, 1.0, 2.0])
+    assert xs == [1.0, 2.0, 3.0]
+    assert fs == [pytest.approx(1 / 3), pytest.approx(2 / 3), pytest.approx(1.0)]
+
+
+def test_empirical_cdf_empty():
+    assert empirical_cdf([]) == ([], [])
+
+
+@given(values=st.lists(finite_floats, min_size=1, max_size=50))
+def test_empirical_cdf_monotone_and_bounded(values):
+    xs, fs = empirical_cdf(values)
+    assert xs == sorted(xs)
+    assert all(0 < f <= 1.0 + 1e-12 for f in fs)
+    assert fs == sorted(fs)
+    assert fs[-1] == pytest.approx(1.0)
+
+
+def test_percentile_median():
+    assert percentile([1.0, 2.0, 3.0], 0.5) == pytest.approx(2.0)
+
+
+def test_percentile_bounds():
+    values = [5.0, 1.0, 9.0]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 1.0) == 9.0
+
+
+def test_percentile_empty_rejected():
+    with pytest.raises(Exception):
+        percentile([], 0.5)
+
+
+def test_interpolate_cdf_values():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert interpolate_cdf(values, [0.5, 2.0, 2.5, 10.0]) == [
+        0.0,
+        pytest.approx(0.5),
+        pytest.approx(0.5),
+        pytest.approx(1.0),
+    ]
+
+
+def test_interpolate_cdf_empty_sample_is_zero():
+    assert interpolate_cdf([], [1.0, 2.0]) == [0.0, 0.0]
+
+
+@given(
+    values=st.lists(finite_floats, min_size=1, max_size=30),
+    points=st.lists(finite_floats, min_size=1, max_size=10),
+)
+def test_interpolate_cdf_monotone_in_points(values, points):
+    ordered = sorted(points)
+    result = interpolate_cdf(values, ordered)
+    assert result == sorted(result)
+    assert all(0.0 <= r <= 1.0 for r in result)

@@ -1,0 +1,109 @@
+"""Unit tests for the delivery collector."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.util.errors import SimulationError
+
+
+def test_expect_registers_pairs():
+    collector = MetricsCollector()
+    collector.expect(1, topic=0, publish_time=0.0, deadlines={2: 0.1, 3: 0.2})
+    assert collector.messages_published == 1
+    assert collector.expected_deliveries == 2
+
+
+def test_expect_without_subscribers_rejected():
+    collector = MetricsCollector()
+    with pytest.raises(SimulationError):
+        collector.expect(1, 0, 0.0, {})
+
+
+def test_duplicate_expectation_rejected():
+    collector = MetricsCollector()
+    collector.expect(1, 0, 0.0, {2: 0.1})
+    with pytest.raises(SimulationError):
+        collector.expect(1, 0, 0.0, {2: 0.1})
+
+
+def test_first_delivery_recorded():
+    collector = MetricsCollector()
+    collector.expect(1, 0, 0.0, {2: 0.1})
+    assert collector.record_delivery(1, 2, 0.05) is True
+    outcome = collector.outcome(1, 2)
+    assert outcome.delivered
+    assert outcome.delay == pytest.approx(0.05)
+    assert outcome.on_time
+
+
+def test_later_copies_counted_as_duplicates():
+    collector = MetricsCollector()
+    collector.expect(1, 0, 0.0, {2: 0.1})
+    collector.record_delivery(1, 2, 0.05)
+    assert collector.record_delivery(1, 2, 0.08) is False
+    assert collector.outcome(1, 2).duplicates == 1
+    assert collector.outcome(1, 2).delay == pytest.approx(0.05)
+    assert collector.duplicate_count() == 1
+
+
+def test_unknown_delivery_ignored():
+    collector = MetricsCollector()
+    assert collector.record_delivery(99, 2, 0.05) is False
+
+
+def test_late_delivery_not_on_time():
+    collector = MetricsCollector()
+    collector.expect(1, 0, 0.0, {2: 0.1})
+    collector.record_delivery(1, 2, 0.15)
+    outcome = collector.outcome(1, 2)
+    assert outcome.delivered and not outcome.on_time
+
+
+def test_deadline_boundary_is_on_time():
+    collector = MetricsCollector()
+    collector.expect(1, 0, 0.0, {2: 0.1})
+    collector.record_delivery(1, 2, 0.1)
+    assert collector.outcome(1, 2).on_time
+
+
+def test_give_up_marks_only_undelivered():
+    collector = MetricsCollector()
+    collector.expect(1, 0, 0.0, {2: 0.1, 3: 0.1})
+    collector.record_delivery(1, 2, 0.05)
+    collector.record_give_up(1, 2)
+    collector.record_give_up(1, 3)
+    assert not collector.outcome(1, 2).gave_up
+    assert collector.outcome(1, 3).gave_up
+
+
+def test_counts():
+    collector = MetricsCollector()
+    collector.expect(1, 0, 0.0, {2: 0.1, 3: 0.1})
+    collector.expect(2, 0, 1.0, {2: 0.1})
+    collector.record_delivery(1, 2, 0.05)
+    collector.record_delivery(1, 3, 0.25)
+    assert collector.delivered_count() == 2
+    assert collector.on_time_count() == 1
+
+
+def test_late_normalized_delays():
+    collector = MetricsCollector()
+    collector.expect(1, 0, 0.0, {2: 0.1, 3: 0.1})
+    collector.record_delivery(1, 2, 0.05)   # on time: excluded
+    collector.record_delivery(1, 3, 0.15)   # late: 1.5x the requirement
+    assert collector.late_normalized_delays() == [pytest.approx(1.5)]
+
+
+def test_delays_list():
+    collector = MetricsCollector()
+    collector.expect(1, 0, 1.0, {2: 0.1})
+    collector.record_delivery(1, 2, 1.07)
+    assert collector.delays() == [pytest.approx(0.07)]
+
+
+def test_publish_time_offsets_delay():
+    collector = MetricsCollector()
+    collector.expect(5, 0, 10.0, {2: 0.1})
+    collector.record_delivery(5, 2, 10.05)
+    assert collector.outcome(5, 2).delay == pytest.approx(0.05)
+    assert collector.outcome(5, 2).on_time

@@ -1,0 +1,108 @@
+"""Unit tests for run summaries and cross-repetition averaging."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import mean_summaries, summarize
+
+
+def make_collector(deliveries):
+    """deliveries: list of (msg, sub, publish, deadline, delivered_at|None)."""
+    collector = MetricsCollector()
+    seen = set()
+    for msg, sub, publish, deadline, _ in deliveries:
+        if msg not in seen:
+            deadlines = {
+                s: dl for m, s, _, dl, _ in deliveries if m == msg
+            }
+            collector.expect(msg, 0, publish, deadlines)
+            seen.add(msg)
+    for msg, sub, _, _, arrived in deliveries:
+        if arrived is not None:
+            collector.record_delivery(msg, sub, arrived)
+    return collector
+
+
+def test_ratios():
+    collector = make_collector(
+        [
+            (1, 2, 0.0, 0.1, 0.05),   # on time
+            (1, 3, 0.0, 0.1, 0.20),   # late
+            (2, 2, 1.0, 0.1, None),   # lost
+            (2, 3, 1.0, 0.1, 1.05),   # on time
+        ]
+    )
+    summary = summarize(collector, data_transmissions=8, strategy="X")
+    assert summary.expected_deliveries == 4
+    assert summary.delivery_ratio == pytest.approx(0.75)
+    assert summary.qos_delivery_ratio == pytest.approx(0.5)
+    assert summary.packets_per_subscriber == pytest.approx(2.0)
+    assert summary.strategy == "X"
+
+
+def test_empty_collector():
+    summary = summarize(MetricsCollector(), data_transmissions=0)
+    assert summary.delivery_ratio == 0.0
+    assert summary.qos_delivery_ratio == 0.0
+    assert summary.packets_per_subscriber == 0.0
+    assert summary.mean_delay is None
+
+
+def test_delay_statistics():
+    collector = make_collector(
+        [
+            (1, 2, 0.0, 1.0, 0.1),
+            (2, 2, 0.0, 1.0, 0.3),
+        ]
+    )
+    summary = summarize(collector, data_transmissions=2)
+    assert summary.mean_delay == pytest.approx(0.2)
+    assert summary.p95_delay == pytest.approx(0.29, abs=0.02)
+
+
+def test_late_normalized_passthrough():
+    collector = make_collector([(1, 2, 0.0, 0.1, 0.15)])
+    summary = summarize(collector, data_transmissions=1)
+    assert summary.late_normalized_delays == [pytest.approx(1.5)]
+
+
+def test_as_dict_round_trip():
+    collector = make_collector([(1, 2, 0.0, 0.1, 0.05)])
+    summary = summarize(collector, data_transmissions=3, strategy="DCRD")
+    data = summary.as_dict()
+    assert data["strategy"] == "DCRD"
+    assert data["data_transmissions"] == 3
+
+
+class TestMeanSummaries:
+    def test_ratios_averaged_counters_summed(self):
+        a = summarize(make_collector([(1, 2, 0.0, 0.1, 0.05)]), 2, "X")
+        b = summarize(make_collector([(1, 2, 0.0, 0.1, None)]), 4, "X")
+        merged = mean_summaries([a, b])
+        assert merged.delivery_ratio == pytest.approx(0.5)
+        assert merged.expected_deliveries == 2
+        assert merged.data_transmissions == 6
+
+    def test_single_summary_identity(self):
+        a = summarize(make_collector([(1, 2, 0.0, 0.1, 0.05)]), 2, "X")
+        merged = mean_summaries([a])
+        assert merged.delivery_ratio == a.delivery_ratio
+
+    def test_late_delays_concatenated(self):
+        a = summarize(make_collector([(1, 2, 0.0, 0.1, 0.15)]), 1, "X")
+        b = summarize(make_collector([(1, 2, 0.0, 0.1, 0.30)]), 1, "X")
+        merged = mean_summaries([a, b])
+        assert sorted(merged.late_normalized_delays) == [
+            pytest.approx(1.5),
+            pytest.approx(3.0),
+        ]
+
+    def test_mixed_strategies_rejected(self):
+        a = summarize(MetricsCollector(), 0, "X")
+        b = summarize(MetricsCollector(), 0, "Y")
+        with pytest.raises(ValueError):
+            mean_summaries([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_summaries([])

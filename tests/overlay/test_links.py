@@ -1,0 +1,183 @@
+"""Unit tests for the overlay data plane."""
+
+import pytest
+
+from repro.overlay.failures import NodeFailureSchedule
+from repro.overlay.links import FrameKind, OverlayNetwork
+from repro.overlay.topology import full_mesh
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.util.errors import SimulationError
+from tests.conftest import ScriptedFailures, make_topology
+
+
+def make_network(topology, loss_rate=0.0, failures=None, node_failures=None, seed=1):
+    sim = Simulator()
+    network = OverlayNetwork(
+        sim,
+        topology,
+        RandomStreams(seed),
+        loss_rate=loss_rate,
+        failures=failures,
+        node_failures=node_failures,
+        trace=True,
+    )
+    return sim, network
+
+
+def test_frame_arrives_after_link_delay():
+    topo = make_topology([(0, 1, 0.025)])
+    sim, network = make_network(topo)
+    received = []
+    network.attach(1, lambda sender, frame: received.append((sender, frame, sim.now)))
+    network.transmit(0, 1, "hello", FrameKind.DATA)
+    sim.run()
+    assert received == [(0, "hello", 0.025)]
+
+
+def test_transmit_to_non_neighbor_rejected():
+    topo = make_topology([(0, 1, 0.01), (1, 2, 0.01)])
+    sim, network = make_network(topo)
+    with pytest.raises(SimulationError):
+        network.transmit(0, 2, "x", FrameKind.DATA)
+
+
+def test_loss_rate_one_drops_everything():
+    topo = make_topology([(0, 1, 0.01)])
+    sim, network = make_network(topo, loss_rate=1.0)
+    received = []
+    network.attach(1, lambda s, f: received.append(f))
+    for _ in range(20):
+        network.transmit(0, 1, "x", FrameKind.DATA)
+    sim.run()
+    assert received == []
+    assert network.stats.lost_random[FrameKind.DATA] == 20
+
+
+def test_loss_rate_statistics():
+    topo = make_topology([(0, 1, 0.01)])
+    sim, network = make_network(topo, loss_rate=0.3, seed=5)
+    network.attach(1, lambda s, f: None)
+    for _ in range(2000):
+        network.transmit(0, 1, "x", FrameKind.DATA)
+    sim.run()
+    fraction = network.stats.loss_fraction(FrameKind.DATA)
+    assert fraction == pytest.approx(0.3, abs=0.05)
+
+
+def test_failed_link_drops_frames_during_window():
+    topo = make_topology([(0, 1, 0.01)])
+    failures = ScriptedFailures({(0, 1): [(0.0, 1.0)]})
+    sim, network = make_network(topo, failures=failures)
+    received = []
+    network.attach(1, lambda s, f: received.append((f, sim.now)))
+    network.transmit(0, 1, "lost", FrameKind.DATA)
+    sim.schedule(1.5, network.transmit, 0, 1, "ok", FrameKind.DATA)
+    sim.run()
+    assert received == [("ok", pytest.approx(1.51))]
+    assert network.stats.lost_failure[FrameKind.DATA] == 1
+
+
+def test_ack_frames_subject_to_same_hazards():
+    topo = make_topology([(0, 1, 0.01)])
+    failures = ScriptedFailures({(0, 1): [(0.0, 1.0)]})
+    sim, network = make_network(topo, failures=failures)
+    network.attach(0, lambda s, f: None)
+    network.transmit(1, 0, "ack", FrameKind.ACK)
+    sim.run()
+    assert network.stats.lost_failure[FrameKind.ACK] == 1
+
+
+def test_reliable_flag_skips_random_loss_only():
+    topo = make_topology([(0, 1, 0.01)])
+    sim, network = make_network(topo, loss_rate=1.0)
+    received = []
+    network.attach(1, lambda s, f: received.append(f))
+    network.transmit(0, 1, "x", FrameKind.DATA, reliable=True)
+    sim.run()
+    assert received == ["x"]
+
+
+def test_reliable_flag_does_not_bypass_failures():
+    topo = make_topology([(0, 1, 0.01)])
+    failures = ScriptedFailures({(0, 1): [(0.0, 1.0)]})
+    sim, network = make_network(topo, failures=failures)
+    received = []
+    network.attach(1, lambda s, f: received.append(f))
+    network.transmit(0, 1, "x", FrameKind.DATA, reliable=True)
+    sim.run()
+    assert received == []
+
+
+def test_node_failure_drops_frames_from_down_sender():
+    topo = make_topology([(0, 1, 0.01)])
+    node_failures = NodeFailureSchedule(topo, 1.0, seed=1)
+    sim, network = make_network(topo, node_failures=node_failures)
+    received = []
+    network.attach(1, lambda s, f: received.append(f))
+    network.transmit(0, 1, "x", FrameKind.DATA)
+    sim.run()
+    assert received == []
+    assert network.stats.lost_node_down[FrameKind.DATA] == 1
+
+
+def test_detached_node_silently_drops():
+    topo = make_topology([(0, 1, 0.01)])
+    sim, network = make_network(topo)
+    received = []
+    network.attach(1, lambda s, f: received.append(f))
+    network.detach(1)
+    network.transmit(0, 1, "x", FrameKind.DATA)
+    sim.run()
+    assert received == []
+
+
+def test_attach_unknown_node_rejected():
+    topo = make_topology([(0, 1, 0.01)])
+    sim, network = make_network(topo)
+    with pytest.raises(SimulationError):
+        network.attach(7, lambda s, f: None)
+
+
+def test_stats_track_per_kind():
+    topo = make_topology([(0, 1, 0.01)])
+    sim, network = make_network(topo)
+    network.attach(1, lambda s, f: None)
+    network.attach(0, lambda s, f: None)
+    network.transmit(0, 1, "d", FrameKind.DATA)
+    network.transmit(1, 0, "a", FrameKind.ACK)
+    network.transmit(0, 1, "p", FrameKind.PROBE)
+    sim.run()
+    assert network.stats.sent[FrameKind.DATA] == 1
+    assert network.stats.sent[FrameKind.ACK] == 1
+    assert network.stats.sent[FrameKind.PROBE] == 1
+    assert network.stats.data_sent() == 1
+    assert network.stats.delivered[FrameKind.ACK] == 1
+
+
+def test_trace_records_transmissions():
+    topo = make_topology([(0, 1, 0.01)])
+    failures = ScriptedFailures({(0, 1): [(0.0, 1.0)]})
+    sim, network = make_network(topo, failures=failures)
+    network.attach(1, lambda s, f: None)
+    network.transmit(0, 1, "x", FrameKind.DATA)
+    sim.run()
+    assert len(network.transmissions) == 1
+    record = network.transmissions[0]
+    assert record.src == 0 and record.dst == 1 and not record.survived
+
+
+def test_link_up_reflects_failure_schedule():
+    topo = make_topology([(0, 1, 0.01)])
+    failures = ScriptedFailures({(0, 1): [(1.0, 2.0)]})
+    sim, network = make_network(topo, failures=failures)
+    assert network.link_up(0, 1)
+    sim.run(until=1.5)
+    assert not network.link_up(0, 1)
+
+
+def test_expected_success_probability_combines_hazards():
+    topo = make_topology([(0, 1, 0.01)])
+    failures = ScriptedFailures({}, failure_probability=0.1)
+    sim, network = make_network(topo, loss_rate=0.2, failures=failures)
+    assert network.expected_success_probability() == pytest.approx(0.9 * 0.8)

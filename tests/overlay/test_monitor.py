@@ -1,0 +1,84 @@
+"""Unit tests for link monitoring."""
+
+import pytest
+
+from repro.overlay.links import OverlayNetwork
+from repro.overlay.monitor import LinkMonitor
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.util.errors import ConfigurationError
+from tests.conftest import ScriptedFailures, make_topology
+
+
+def make_monitor(loss_rate=0.0, failure_probability=0.0, mode="analytic", **kwargs):
+    topo = make_topology([(0, 1, 0.010), (1, 2, 0.030)])
+    sim = Simulator()
+    streams = RandomStreams(3)
+    failures = (
+        ScriptedFailures({}, failure_probability=failure_probability)
+        if failure_probability
+        else None
+    )
+    network = OverlayNetwork(sim, topo, streams, loss_rate=loss_rate, failures=failures)
+    return topo, LinkMonitor(topo, network, streams, mode=mode, **kwargs)
+
+
+def test_analytic_alpha_equals_link_delay():
+    topo, monitor = make_monitor()
+    assert monitor.estimate(0, 1).alpha == pytest.approx(0.010)
+    assert monitor.estimate(2, 1).alpha == pytest.approx(0.030)
+
+
+def test_analytic_gamma_combines_loss_and_failure():
+    _, monitor = make_monitor(loss_rate=0.2, failure_probability=0.1)
+    assert monitor.estimate(0, 1).gamma == pytest.approx(0.9 * 0.8)
+
+
+def test_analytic_gamma_without_hazards_is_one():
+    _, monitor = make_monitor()
+    assert monitor.estimate(0, 1).gamma == pytest.approx(1.0)
+
+
+def test_estimates_snapshot_covers_all_edges():
+    topo, monitor = make_monitor()
+    estimates = monitor.estimates()
+    assert set(estimates) == set(topo.edges())
+
+
+def test_refresh_counter_increments():
+    _, monitor = make_monitor()
+    before = monitor.refreshes
+    monitor.refresh()
+    assert monitor.refreshes == before + 1
+
+
+def test_sampled_mode_tracks_truth_after_refreshes():
+    _, monitor = make_monitor(
+        loss_rate=0.3, mode="sampled", probes_per_cycle=400, ewma_weight=0.5
+    )
+    for _ in range(20):
+        monitor.refresh()
+    assert monitor.estimate(0, 1).gamma == pytest.approx(0.7, abs=0.08)
+
+
+def test_sampled_mode_never_reports_zero_gamma():
+    _, monitor = make_monitor(
+        loss_rate=1.0, mode="sampled", probes_per_cycle=10, gamma_floor=1e-6
+    )
+    monitor.refresh()
+    assert monitor.estimate(0, 1).gamma >= 1e-6
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ConfigurationError):
+        make_monitor(mode="psychic")
+
+
+def test_invalid_probe_count_rejected():
+    with pytest.raises(ConfigurationError):
+        make_monitor(mode="sampled", probes_per_cycle=0)
+
+
+def test_mode_property():
+    _, monitor = make_monitor(mode="sampled")
+    assert monitor.mode == "sampled"

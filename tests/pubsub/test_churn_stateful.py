@@ -1,0 +1,75 @@
+"""Stateful property test of the runtime subscription API.
+
+A hypothesis rule machine performs random joins and leaves against a
+model (a plain dict of sets) and checks the workload container never
+diverges: topic membership, deadline bookkeeping, version monotonicity.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.pubsub.topics import Subscription, TopicSpec, Workload
+
+TOPICS = [0, 1, 2]
+NODES = list(range(8))
+
+
+class ChurnMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.workload = Workload(
+            topics=[
+                TopicSpec(topic=t, publisher=7, subscriptions=(Subscription(0, 1.0),))
+                for t in TOPICS
+            ]
+        )
+        self.model = {t: {0} for t in TOPICS}
+        self.last_version = self.workload.version
+
+    @rule(topic=st.sampled_from(TOPICS), node=st.sampled_from(NODES),
+          deadline=st.floats(min_value=0.01, max_value=5.0))
+    def join(self, topic, node, deadline):
+        if node in self.model[topic]:
+            return
+        self.workload.add_subscription(topic, Subscription(node, deadline))
+        self.model[topic].add(node)
+        assert self.workload.version > self.last_version
+        self.last_version = self.workload.version
+
+    @rule(topic=st.sampled_from(TOPICS), node=st.sampled_from(NODES))
+    def leave(self, topic, node):
+        if node not in self.model[topic] or len(self.model[topic]) == 1:
+            return
+        removed = self.workload.remove_subscription(topic, node)
+        assert removed.node == node
+        self.model[topic].discard(node)
+        self.last_version = self.workload.version
+
+    @invariant()
+    def membership_matches_model(self):
+        if not hasattr(self, "workload"):
+            return
+        for topic in TOPICS:
+            spec = self.workload.topic(topic)
+            assert set(spec.subscriber_nodes) == self.model[topic]
+            # Subscriptions stay sorted and unique.
+            nodes = list(spec.subscriber_nodes)
+            assert nodes == sorted(set(nodes))
+
+    @invariant()
+    def totals_consistent(self):
+        if not hasattr(self, "workload"):
+            return
+        assert self.workload.total_subscriptions == sum(
+            len(nodes) for nodes in self.model.values()
+        )
+
+
+TestChurnMachine = ChurnMachine.TestCase
+TestChurnMachine.settings = settings(max_examples=25, stateful_step_count=30, deadline=None)

@@ -1,0 +1,59 @@
+"""Tests for runtime subscription changes on the workload container."""
+
+import pytest
+
+from repro.pubsub.topics import Subscription, TopicSpec, Workload
+
+
+@pytest.fixture
+def workload():
+    return Workload(
+        topics=[
+            TopicSpec(0, 1, (Subscription(2, 0.1), Subscription(3, 0.1))),
+            TopicSpec(1, 4, (Subscription(5, 0.1),)),
+        ]
+    )
+
+
+def test_add_subscription(workload):
+    workload.add_subscription(0, Subscription(7, 0.2))
+    spec = workload.topic(0)
+    assert spec.subscriber_nodes == (2, 3, 7)
+    assert spec.deadline_of(7) == 0.2
+
+
+def test_add_bumps_version(workload):
+    before = workload.version
+    workload.add_subscription(0, Subscription(7, 0.2))
+    assert workload.version == before + 1
+
+
+def test_add_existing_rejected(workload):
+    with pytest.raises(KeyError):
+        workload.add_subscription(0, Subscription(2, 0.2))
+
+
+def test_remove_subscription(workload):
+    removed = workload.remove_subscription(0, 2)
+    assert removed.node == 2
+    assert workload.topic(0).subscriber_nodes == (3,)
+
+
+def test_remove_unknown_rejected(workload):
+    with pytest.raises(KeyError):
+        workload.remove_subscription(0, 9)
+
+
+def test_remove_from_unknown_topic_rejected(workload):
+    with pytest.raises(KeyError):
+        workload.remove_subscription(9, 2)
+
+
+def test_other_topics_untouched(workload):
+    workload.add_subscription(0, Subscription(7, 0.2))
+    assert workload.topic(1).subscriber_nodes == (5,)
+
+
+def test_subscriptions_stay_sorted_by_node(workload):
+    workload.add_subscription(0, Subscription(1, 0.2))
+    assert workload.topic(0).subscriber_nodes == (1, 2, 3)

@@ -1,0 +1,94 @@
+"""Unit tests for publisher processes."""
+
+from repro.pubsub.endpoints import PublisherProcess
+from repro.pubsub.topics import Subscription, TopicSpec, Workload
+from repro.routing.base import RoutingStrategy
+from tests.conftest import build_ctx, make_topology
+
+
+class CountingStrategy(RoutingStrategy):
+    name = "counting"
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.published = []
+
+    def publish(self, spec, msg_id):
+        self.published.append((spec.topic, msg_id, self.ctx.sim.now))
+
+    def handle_data(self, node, sender, frame):  # pragma: no cover
+        raise NotImplementedError
+
+
+def make_setup(interval=1.0, phase=0.0, stop_time=None):
+    topo = make_topology([(0, 1, 0.010)])
+    spec = TopicSpec(
+        topic=0,
+        publisher=0,
+        subscriptions=(Subscription(1, 0.5),),
+        publish_interval=interval,
+        phase=phase,
+    )
+    ctx = build_ctx(topo, Workload(topics=[spec]))
+    strategy = CountingStrategy(ctx)
+    publisher = PublisherProcess(ctx, strategy, spec, stop_time=stop_time)
+    return ctx, strategy, publisher
+
+
+def test_publishes_at_interval():
+    ctx, strategy, publisher = make_setup(interval=1.0)
+    publisher.start()
+    ctx.sim.run(until=5.0)
+    assert publisher.published == 6  # t = 0, 1, 2, 3, 4, 5
+    times = [t for _, _, t in strategy.published]
+    assert times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_phase_offsets_first_packet():
+    ctx, strategy, publisher = make_setup(interval=1.0, phase=0.4)
+    publisher.start()
+    ctx.sim.run(until=2.0)
+    times = [t for _, _, t in strategy.published]
+    assert times == [0.4, 1.4]
+
+
+def test_stop_time_halts_publishing():
+    ctx, strategy, publisher = make_setup(interval=1.0, stop_time=3.0)
+    publisher.start()
+    ctx.sim.run(until=10.0)
+    times = [t for _, _, t in strategy.published]
+    assert max(times) < 3.0
+
+
+def test_manual_stop():
+    ctx, strategy, publisher = make_setup(interval=1.0)
+    publisher.start()
+    ctx.sim.schedule(2.5, publisher.stop)
+    ctx.sim.run(until=10.0)
+    assert publisher.published == 3
+
+
+def test_each_message_registered_with_metrics():
+    ctx, strategy, publisher = make_setup(interval=1.0, stop_time=3.0)
+    publisher.start()
+    ctx.sim.run(until=10.0)
+    assert ctx.metrics.messages_published == publisher.published
+    assert ctx.metrics.expected_deliveries == publisher.published  # 1 sub
+
+
+def test_message_ids_unique_across_topics():
+    topo = make_topology([(0, 1, 0.010), (1, 2, 0.010)])
+    specs = [
+        TopicSpec(0, 0, (Subscription(1, 0.5),), 1.0, 0.0),
+        TopicSpec(1, 1, (Subscription(2, 0.5),), 1.0, 0.5),
+    ]
+    from repro.pubsub.topics import Workload
+
+    ctx = build_ctx(topo, Workload(topics=specs))
+    strategy = CountingStrategy(ctx)
+    publishers = [PublisherProcess(ctx, strategy, spec, stop_time=3.0) for spec in specs]
+    for publisher in publishers:
+        publisher.start()
+    ctx.sim.run(until=5.0)
+    ids = [msg_id for _, msg_id, _ in strategy.published]
+    assert len(ids) == len(set(ids))

@@ -1,0 +1,67 @@
+"""Property tests of the event kernel's ordering guarantees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(delays=delays)
+def test_events_always_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(delays=delays)
+def test_equal_times_preserve_submission_order(delays):
+    sim = Simulator()
+    fired = []
+    # Pin all events to the same instant, labelled by submission index.
+    for index, _ in enumerate(delays):
+        sim.schedule(1.0, fired.append, index)
+    sim.run()
+    assert fired == list(range(len(delays)))
+
+
+@given(delays=delays, cancel_mask=st.data())
+def test_cancellation_is_exact(delays, cancel_mask):
+    sim = Simulator()
+    fired = []
+    events = [
+        sim.schedule(delay, fired.append, index)
+        for index, delay in enumerate(delays)
+    ]
+    cancelled = set()
+    for index, event in enumerate(events):
+        if cancel_mask.draw(st.booleans()):
+            event.cancel()
+            cancelled.add(index)
+    sim.run()
+    assert set(fired) == set(range(len(delays))) - cancelled
+
+
+@settings(deadline=None)
+@given(
+    delays=delays,
+    until=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+def test_run_until_is_a_clean_partition(delays, until):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, fired.append, delay)
+    sim.run(until=until)
+    early = list(fired)
+    sim.run()
+    assert all(d <= until for d in early)
+    assert sorted(fired) == sorted(delays)

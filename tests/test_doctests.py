@@ -1,0 +1,20 @@
+"""Execute the usage doctests embedded in key public modules."""
+
+import doctest
+
+import pytest
+
+import repro.sim.engine
+import repro.sim.random
+import repro.system
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.sim.engine, repro.sim.random, repro.system],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert results.failed == 0

@@ -1,0 +1,66 @@
+"""Unit tests for validation helpers and the error hierarchy."""
+
+import pytest
+
+from repro.util.errors import (
+    ConfigurationError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+)
+from repro.util.validation import (
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+
+def test_require_passes_and_fails():
+    require(True, "fine")
+    with pytest.raises(ConfigurationError, match="broken"):
+        require(False, "broken")
+
+
+def test_require_positive():
+    assert require_positive(0.5, "x") == 0.5
+    with pytest.raises(ConfigurationError):
+        require_positive(0.0, "x")
+    with pytest.raises(ConfigurationError):
+        require_positive(-1.0, "x")
+
+
+def test_require_non_negative():
+    assert require_non_negative(0.0, "x") == 0.0
+    with pytest.raises(ConfigurationError):
+        require_non_negative(-0.1, "x")
+
+
+def test_require_probability():
+    assert require_probability(0.0, "p") == 0.0
+    assert require_probability(1.0, "p") == 1.0
+    with pytest.raises(ConfigurationError):
+        require_probability(1.01, "p")
+    with pytest.raises(ConfigurationError):
+        require_probability(-0.01, "p")
+
+
+def test_require_in_range():
+    assert require_in_range(5, 1, 10, "x") == 5
+    with pytest.raises(ConfigurationError):
+        require_in_range(0, 1, 10, "x")
+
+
+def test_require_type():
+    assert require_type("s", str, "x") == "s"
+    with pytest.raises(ConfigurationError):
+        require_type("s", int, "x")
+
+
+def test_error_hierarchy():
+    for error in (ConfigurationError, TopologyError, SimulationError, RoutingError):
+        assert issubclass(error, ReproError)
+    assert issubclass(ReproError, Exception)
