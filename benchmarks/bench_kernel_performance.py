@@ -8,12 +8,17 @@ the paper's default scale.
 
 import numpy as np
 
-from repro.core.computation import compute_dr_table
+from repro.core.computation import ControlPlaneSolver, compute_dr_table
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_single
-from repro.overlay.monitor import LinkEstimate
+from repro.overlay.links import OverlayNetwork
+from repro.overlay.monitor import LinkEstimate, LinkMonitor
 from repro.overlay.topology import random_regular
+from repro.perf import time_call
 from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+from _common import save_report
 
 
 def test_event_throughput(benchmark):
@@ -53,6 +58,109 @@ def test_dr_table_solver_at_scale(benchmark):
 
     table = benchmark.pedantic(run, rounds=3, iterations=1)
     assert table.reachable(0)
+
+
+def _control_plane_workload(num_pairs=24, num_publishers=5):
+    """A Figure-5-scale refresh scenario for the control-plane benchmark.
+
+    160 nodes at degree 8, sampled-mode monitoring at the default loss
+    rate, *num_pairs* (publisher, subscriber, deadline) pairs spread over
+    *num_publishers* publishers. Only pairs whose cold table converges are
+    used (the strategy never warm-starts from a non-converged table, so a
+    non-converged pair would just benchmark two identical cold solves).
+    """
+    rng = np.random.default_rng(7)
+    topology = random_regular(160, 8, rng)
+    streams = RandomStreams(7)
+    sim = Simulator()
+    network = OverlayNetwork(sim, topology, streams, loss_rate=1e-4)
+    monitor = LinkMonitor(topology, network, streams, mode="sampled")
+
+    publishers = list(range(num_publishers))
+    cold_solver = ControlPlaneSolver(topology, monitor.estimates())
+    pairs, previous = [], {}
+    subscriber = 10
+    while len(pairs) < num_pairs and subscriber < topology.num_nodes:
+        publisher = publishers[len(pairs) % num_publishers]
+        if subscriber not in publishers:
+            deadline = 2.5 * topology.shortest_delay(publisher, subscriber)
+            table = cold_solver.solve(publisher, subscriber, deadline)
+            if table.converged:
+                pairs.append((publisher, subscriber, deadline))
+                previous[(publisher, subscriber)] = table
+        subscriber += 1
+    assert len(pairs) >= 20, "workload could not assemble 20 converged pairs"
+
+    monitor.refresh()  # the timed event: one monitoring cycle later
+    return topology, monitor.snapshot(), monitor.last_changed, pairs, previous
+
+
+def test_control_plane_batched_refresh(benchmark):
+    """Incremental batched refresh vs per-pair from-scratch solving.
+
+    The scenario is one monitoring refresh at Figure-5 scale: 24 standing
+    (publisher, subscriber) pairs sharing 5 publishers must be re-solved
+    against the new estimates. The baseline rebuilds every table from
+    scratch (one :func:`compute_dr_table` per pair, exactly what
+    ``DcrdStrategy`` did before batching); the incremental path shares one
+    :class:`ControlPlaneSolver`, skips tables no changed edge can reach,
+    and warm-starts the rest from the previous tables.
+    """
+    topology, estimates, changed, pairs, previous = _control_plane_workload()
+
+    def from_scratch():
+        return [
+            compute_dr_table(topology, estimates, pub, sub, deadline)
+            for pub, sub, deadline in pairs
+        ]
+
+    def incremental():
+        solver = ControlPlaneSolver(topology, estimates)
+        tables = []
+        for pub, sub, deadline in pairs:
+            warm = previous[(pub, sub)]
+            if not solver.table_affected(pub, deadline, changed):
+                tables.append(warm)
+                continue
+            tables.append(
+                solver.solve(pub, sub, deadline, warm=warm, changed_edges=changed)
+            )
+        return tables
+
+    # Interleave the two measurements so a transient load spike degrades
+    # both sides instead of silently skewing the ratio.
+    before_s = after_s = float("inf")
+    cold_tables = warm_tables = None
+    for _ in range(5):
+        elapsed, cold_tables = time_call(from_scratch)
+        before_s = min(before_s, elapsed)
+        elapsed, warm_tables = time_call(incremental)
+        after_s = min(after_s, elapsed)
+    speedup = before_s / after_s
+
+    # The incremental tables must route identically to the from-scratch
+    # ones: same sending-list orders and the same reachability everywhere.
+    for cold, warm in zip(cold_tables, warm_tables):
+        for node in topology.nodes:
+            assert (
+                cold.states[node].neighbor_order == warm.states[node].neighbor_order
+            )
+            assert cold.reachable(node) == warm.reachable(node)
+
+    lines = [
+        "Control-plane refresh at Figure-5 scale "
+        "(160 nodes, degree 8, sampled monitoring)",
+        f"  standing pairs          {len(pairs)} "
+        f"(sharing {len({p for p, _, _ in pairs})} publishers)",
+        f"  changed link estimates  {len(changed)} of {len(estimates)}",
+        f"  from-scratch (before)   {before_s * 1000.0:8.2f} ms",
+        f"  incremental  (after)    {after_s * 1000.0:8.2f} ms",
+        f"  speedup                 {speedup:8.2f}x",
+    ]
+    save_report("control_plane", "\n".join(lines))
+
+    benchmark.pedantic(incremental, rounds=3, iterations=1)
+    assert speedup >= 3.0, f"expected >= 3x speedup, measured {speedup:.2f}x"
 
 
 def test_full_dcrd_run(benchmark):

@@ -19,8 +19,16 @@ Quickstart
 ['D-Tree', 'DCRD', 'Multipath', 'ORACLE', 'R-Tree']
 """
 
-from repro.core.computation import DrTable, NodeState, ViaNeighbor, compute_dr_table
+from repro.core.computation import (
+    ControlPlaneSolver,
+    DrTable,
+    NodeState,
+    ViaNeighbor,
+    compute_dr_table,
+    compute_dr_tables,
+)
 from repro.core.forwarding import DcrdStrategy
+from repro.perf import PerfStats
 from repro.core.linkmath import expected_delay_m, expected_delivery_ratio_m
 from repro.experiments.config import ExperimentConfig, paper_config
 from repro.experiments.runner import (
@@ -57,8 +65,10 @@ from repro.system import Delivery, PubSubSystem  # noqa: E402
 __version__ = "1.0.0"
 
 __all__ = [
+    "ControlPlaneSolver",
     "DEFAULT_STRATEGIES",
     "DcrdStrategy",
+    "PerfStats",
     "Delivery",
     "PubSubSystem",
     "DrTable",
@@ -90,6 +100,7 @@ __all__ = [
     "Workload",
     "build_environment",
     "compute_dr_table",
+    "compute_dr_tables",
     "expected_delay_m",
     "expected_delivery_ratio_m",
     "full_mesh",

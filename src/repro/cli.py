@@ -35,6 +35,7 @@ from repro.experiments.report import (
     render_cdf,
     render_comparison,
     render_panels,
+    render_perf,
     render_sweep,
 )
 from repro.experiments.runner import DEFAULT_STRATEGIES, run_comparison
@@ -86,6 +87,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print(f"Configuration: {config.describe()} (seed={args.seed})")
     results = run_comparison(config, seed=args.seed, strategies=args.strategies)
     print(render_comparison(results))
+    if args.perf:
+        print()
+        print("Performance counters (see repro.perf):")
+        print(render_perf(results))
     return 0
 
 
@@ -188,6 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="run all strategies on one configuration"
     )
     _add_config_arguments(compare)
+    compare.add_argument(
+        "--perf",
+        action="store_true",
+        help="also print per-strategy performance counters "
+        "(control-plane solve time, table reuse, warm-start rounds)",
+    )
     compare.set_defaults(handler=cmd_compare)
 
     sweep_cmd = subparsers.add_parser("sweep", help="sweep one config axis")

@@ -9,19 +9,28 @@
   event-driven strategy (:class:`DcrdStrategy`).
 """
 
-from repro.core.computation import DrTable, NodeState, ViaNeighbor, compute_dr_table
+from repro.core.computation import (
+    ControlPlaneSolver,
+    DrTable,
+    NodeState,
+    ViaNeighbor,
+    compute_dr_table,
+    compute_dr_tables,
+)
 from repro.core.forwarding import DcrdStrategy
 from repro.core.linkmath import expected_delay_m, expected_delivery_ratio_m, link_params_m
 from repro.core.sending_list import eligible_neighbors, order_sending_list
 from repro.core.theory import brute_force_best_order, expected_delay_of_order
 
 __all__ = [
+    "ControlPlaneSolver",
     "DcrdStrategy",
     "DrTable",
     "NodeState",
     "ViaNeighbor",
     "brute_force_best_order",
     "compute_dr_table",
+    "compute_dr_tables",
     "eligible_neighbors",
     "expected_delay_m",
     "expected_delay_of_order",

@@ -12,13 +12,63 @@ a few diameters in practice, with a hard round bound as a backstop.
 
 The result, a :class:`DrTable`, is the per-(publisher, subscriber) control
 state: each node's ``<d, r>`` plus its ordered sending list.
+
+Batching and incrementality
+---------------------------
+
+Algorithm 1 re-runs after every monitoring cycle, and most of the work of
+one (publisher, subscriber) solve is *pair-independent*: the Eq. 1
+``(alpha_m, gamma_m)`` link table and the pre-resolved adjacency lists
+depend only on the estimates, and the budget Dijkstra depends only on the
+publisher. :class:`ControlPlaneSolver` computes each of those artifacts
+exactly once per refresh and shares them across every pair solved against
+the same estimates — the cold path runs the *identical* arithmetic in the
+identical order as a standalone :func:`compute_dr_table` call, so batched
+results are bit-identical to per-pair results by construction.
+
+Two further accelerations are layered on top:
+
+* **dirty-edge relevance** (:meth:`ControlPlaneSolver.table_affected`) —
+  a changed edge can only influence a table if at least one endpoint has a
+  positive delay budget (``dist(P, endpoint) < deadline``); a broker whose
+  budget is non-positive provably holds ``<inf, 0>`` forever and its links
+  are never read. Tables no changed edge can reach are reused verbatim
+  (bit-identical, the solve is skipped entirely);
+* **warm-started replay** — every solve records its per-round update
+  trajectory in the resulting table. A re-solve against new estimates
+  replays that trajectory: in each round, a node is actually recomputed
+  only if it touches a changed edge or a node whose value has diverged
+  from the recorded run; every other node's round outcome is *copied*
+  from the recording, because its inputs (neighbour values and link
+  parameters) are bitwise identical to what a from-scratch solve on the
+  new estimates would see. The replayed trajectory is therefore — by
+  induction over rounds — bit-for-bit the trajectory of a cold solve on
+  the new estimates, at the cost of recomputing only the changed edges'
+  influence cone. ``tests/core/test_batch_solver.py`` pins this exact
+  equivalence.
+
+A naive warm start (seeding Jacobi from the previous ``<d, r>`` values)
+was rejected: the tolerance-gated iteration parks values within ``tol``
+of budget-eligibility boundaries whenever cyclic feedback oscillates, so
+a warm fixed point that differs from the cold one by less than ``tol``
+can still flip a strict ``d_i < budget`` comparison and change a sending
+list. Replay sidesteps the problem by reproducing the cold trajectory
+itself rather than approximating its fixed point.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import networkx as nx
 
@@ -26,6 +76,7 @@ from repro.core.linkmath import link_params_m
 from repro.core.sending_list import order_sending_list
 from repro.overlay.monitor import LinkEstimate
 from repro.overlay.topology import Edge, Topology, canonical_edge
+from repro.perf import PerfStats
 from repro.util.validation import require, require_positive
 
 
@@ -86,6 +137,13 @@ class DrTable:
     budgets: Dict[int, float]
     rounds: int
     converged: bool
+    #: Per-round ``(node, d, r)`` update lists of the solve that produced
+    #: this table; consumed by :meth:`ControlPlaneSolver.solve` to replay
+    #: the iteration incrementally after the next refresh. Diagnostic
+    #: payload — excluded from equality and repr.
+    trajectory: Optional[Tuple[Tuple[Tuple[int, float, float], ...], ...]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def state(self, node: int) -> NodeState:
         """The :class:`NodeState` of *node*."""
@@ -112,6 +170,320 @@ def _estimate_weight_graph(
     for edge in topology.edges():
         graph.add_edge(*edge, weight=estimates[edge].alpha)
     return graph
+
+
+class ControlPlaneSolver:
+    """Shared-artifact solver for all ``<d, r>`` tables of one refresh.
+
+    Constructing the solver resolves everything that is independent of the
+    (publisher, subscriber) pair — the Eq. 1 ``(alpha_m, gamma_m)`` table,
+    the usable-adjacency lists, and the alpha-weighted graph for budget
+    Dijkstras — exactly once. Per-publisher shortest-delay maps are then
+    computed lazily and cached, so solving all subscribers of one publisher
+    costs a single ``single_source_dijkstra_path_length`` call.
+
+    One solver instance is valid for one immutable estimates snapshot;
+    build a fresh instance after every monitoring refresh.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        estimates: Mapping[Edge, LinkEstimate],
+        m: int = 1,
+        max_rounds: Optional[int] = None,
+        tol: float = 1e-9,
+        perf: Optional[PerfStats] = None,
+    ) -> None:
+        require(m >= 1, f"m must be >= 1, got {m}")
+        self.topology = topology
+        self.estimates = estimates
+        self.m = m
+        num_nodes = topology.num_nodes
+        if max_rounds is None:
+            max_rounds = max(64, 2 * num_nodes)
+        self.max_rounds = max_rounds
+        self.tol = tol
+        self.perf = perf
+
+        # Per-link m-transmission parameters (Eq. 1), symmetric.
+        link_m: Dict[Edge, Tuple[float, float]] = {}
+        for edge in topology.edges():
+            estimate = estimates[edge]
+            link_m[edge] = link_params_m(estimate.alpha, estimate.gamma, m)
+        self.link_m = link_m
+
+        # Pre-resolve each node's usable links once: (neighbor, alpha_m,
+        # gamma_m) with dead links (gamma 0 / alpha inf) dropped up front.
+        links_of: List[List[Tuple[int, float, float]]] = [[] for _ in range(num_nodes)]
+        for node in topology.nodes:
+            entries = links_of[node]
+            for neighbor in topology.neighbors(node):
+                alpha_m, gamma_m = link_m[canonical_edge(node, neighbor)]
+                if math.isfinite(alpha_m) and gamma_m > 0.0:
+                    entries.append((neighbor, alpha_m, gamma_m))
+        self.links_of = links_of
+        self.neighbors_of = [topology.neighbors(node) for node in topology.nodes]
+
+        self._weight_graph = _estimate_weight_graph(topology, estimates)
+        self._dist_cache: Dict[int, Dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    def distances_from(self, publisher: int) -> Dict[int, float]:
+        """Shortest alpha-weighted delays from *publisher* (cached)."""
+        dist = self._dist_cache.get(publisher)
+        if dist is None:
+            dist = nx.single_source_dijkstra_path_length(
+                self._weight_graph, publisher, weight="weight"
+            )
+            self._dist_cache[publisher] = dist
+            if self.perf is not None:
+                self.perf.incr("control_plane.dijkstra_calls")
+        return dist
+
+    def table_affected(
+        self, publisher: int, deadline: float, changed_edges: Iterable[Edge]
+    ) -> bool:
+        """Whether any changed edge can influence the (publisher, deadline)
+        table at all.
+
+        An edge both of whose endpoints have non-positive budget
+        (``dist(P, endpoint) >= deadline``) is provably inert: those
+        brokers hold ``<inf, 0>`` in every round regardless of the edge's
+        parameters, and no other broker ever reads the edge. Only valid
+        for gamma-only changes (alpha changes move the distances
+        themselves).
+        """
+        dist = self.distances_from(publisher)
+        inf = float("inf")
+        for u, v in changed_edges:
+            if dist.get(u, inf) < deadline or dist.get(v, inf) < deadline:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        publisher: int,
+        subscriber: int,
+        deadline: float,
+        warm: Optional[DrTable] = None,
+        changed_edges: Optional[Iterable[Edge]] = None,
+    ) -> DrTable:
+        """Solve one (publisher, subscriber) pair against this refresh.
+
+        Without *warm* this is bit-identical to :func:`compute_dr_table`.
+        With *warm* (the pair's previous table, carrying its recorded
+        trajectory) and *changed_edges*, the iteration replays the
+        recorded rounds, recomputing only nodes inside the influence cone
+        of the changed edges and copying every other round outcome from
+        the recording — producing the exact cold-solve result. A warm
+        table whose budgets or identity don't match (different deadline,
+        alpha movement, no trajectory) is ignored and the solve falls
+        back to cold.
+        """
+        require_positive(deadline, "deadline")
+        topology = self.topology
+        num = topology.num_nodes
+
+        # Remaining budget at each broker: D_XS = D_PS - shortest_delay(P, X),
+        # with shortest delays taken over the monitor's alpha estimates.
+        dist_from_publisher = self.distances_from(publisher)
+        budgets = {
+            node: deadline - dist_from_publisher.get(node, float("inf"))
+            for node in topology.nodes
+        }
+        budget_of: List[float] = [budgets[node] for node in topology.nodes]
+
+        inf = float("inf")
+        warm_ok = (
+            warm is not None
+            and warm.trajectory is not None
+            and warm.subscriber == subscriber
+            and warm.publisher == publisher
+            and warm.deadline == deadline
+            and changed_edges is not None
+            and warm.budgets == budgets
+        )
+        d = [inf] * num
+        r = [0.0] * num
+        d[subscriber], r[subscriber] = 0.0, 1.0
+        dirty = set(topology.nodes) - {subscriber}
+        if warm_ok:
+            # Replay state: the recorded run's values in lockstep with the
+            # live ones, the set of nodes whose live value has diverged
+            # from the recording, and the changed edges' endpoints (whose
+            # link parameters differ from the recorded run's).
+            old_trajectory = warm.trajectory  # type: ignore[union-attr]
+            old_d = [inf] * num
+            old_r = [0.0] * num
+            old_d[subscriber], old_r[subscriber] = 0.0, 1.0
+            endpoints: set = set()
+            for u, v in changed_edges:  # type: ignore[union-attr]
+                endpoints.add(u)
+                endpoints.add(v)
+            diff: set = set()
+            if self.perf is not None:
+                self.perf.incr("control_plane.tables_warm_started")
+        else:
+            old_trajectory = None
+            if self.perf is not None:
+                self.perf.incr("control_plane.tables_solved_cold")
+
+        links_of = self.links_of
+        tol = self.tol
+
+        def recompute(node: int) -> Tuple[float, float]:
+            """One Eq. 2 + Theorem 1 + Eq. 3 evaluation from current d/r."""
+            budget = budget_of[node]
+            candidates: List[Tuple[float, int, float, float]] = []
+            for neighbor, alpha_m, gamma_m in links_of[node]:
+                d_i = d[neighbor]
+                # Algorithm 1 line 4: neighbour must expect delivery within
+                # the remaining budget; hopeless neighbours cannot help
+                # either.
+                r_i = r[neighbor]
+                if not (d_i < budget) or r_i <= 0.0:
+                    continue
+                d_via = alpha_m + d_i
+                r_via = gamma_m * r_i
+                candidates.append((d_via / r_via, neighbor, d_via, r_via))
+            if not candidates:
+                return inf, 0.0
+            candidates.sort()
+            survive = 1.0
+            weighted = 0.0
+            cumulative = 0.0
+            for _, _, d_via, r_via in candidates:
+                cumulative += d_via
+                weighted += cumulative * r_via * survive
+                survive *= 1.0 - r_via
+            r_x = 1.0 - survive
+            if r_x <= 0.0:
+                return inf, 0.0
+            return weighted / r_x, r_x
+
+        recomputes = 0
+
+        def gate(node: int) -> Optional[Tuple[int, float, float]]:
+            """Recompute *node*; return its update if it moved beyond tol."""
+            nonlocal recomputes
+            recomputes += 1
+            new_d, new_r = recompute(node)
+            cur_d, cur_r = d[node], r[node]
+            if abs(new_r - cur_r) > tol:
+                return node, new_d, new_r
+            if math.isinf(new_d) != math.isinf(cur_d):
+                return node, new_d, new_r
+            if math.isfinite(new_d) and abs(new_d - cur_d) > tol:
+                return node, new_d, new_r
+            return None
+
+        rounds = 0
+        converged = False
+        trajectory: List[Tuple[Tuple[int, float, float], ...]] = []
+        # Jacobi with dirty-set propagation: a node is recomputed only when
+        # one of its neighbours changed in the previous round. A replay
+        # further narrows the recomputed set to the changed edges'
+        # influence cone; everything outside the cone is copied from the
+        # recorded trajectory (bit-identical inputs give bit-identical
+        # outcomes, so the copies ARE the cold-solve results).
+        neighbors_of = self.neighbors_of
+        while rounds < self.max_rounds and dirty:
+            rounds += 1
+            updates: List[Tuple[int, float, float]] = []
+            if old_trajectory is None:
+                for node in dirty:
+                    update = gate(node)
+                    if update is not None:
+                        updates.append(update)
+            else:
+                old_updates = (
+                    old_trajectory[rounds - 1]
+                    if rounds <= len(old_trajectory)
+                    else ()
+                )
+                # The cone this round: nodes whose own value or one of
+                # whose inputs (a neighbour's value, an incident link's
+                # parameters) differs from the recorded run.
+                cone = set(endpoints)
+                for node in diff:
+                    cone.add(node)
+                    cone.update(neighbors_of[node])
+                for entry in old_updates:
+                    node = entry[0]
+                    if node in dirty and node not in cone:
+                        updates.append(entry)
+                for node in dirty & cone:
+                    update = gate(node)
+                    if update is not None:
+                        updates.append(update)
+            dirty = set()
+            for node, new_d, new_r in updates:
+                d[node], r[node] = new_d, new_r
+                dirty.update(neighbors_of[node])
+            dirty.discard(subscriber)
+            if old_trajectory is not None:
+                for node, up_d, up_r in old_updates:
+                    old_d[node], old_r[node] = up_d, up_r
+                for node, _, _ in updates:
+                    if d[node] == old_d[node] and r[node] == old_r[node]:
+                        diff.discard(node)
+                    else:
+                        diff.add(node)
+                for node, _, _ in old_updates:
+                    if d[node] == old_d[node] and r[node] == old_r[node]:
+                        diff.discard(node)
+                    else:
+                        diff.add(node)
+            trajectory.append(tuple(updates))
+            if not updates:
+                converged = True
+                break
+        if not converged and not dirty:
+            converged = True
+        if self.perf is not None:
+            self.perf.incr("control_plane.jacobi_rounds", rounds)
+            self.perf.incr("control_plane.node_recomputes", recomputes)
+
+        def final_vias(node: int) -> Tuple[ViaNeighbor, ...]:
+            budget = budget_of[node]
+            entries = []
+            for neighbor, alpha_m, gamma_m in links_of[node]:
+                d_i, r_i = d[neighbor], r[neighbor]
+                if not (d_i < budget) or r_i <= 0.0:
+                    continue
+                entries.append((neighbor, alpha_m + d_i, gamma_m * r_i))
+            ordered = order_sending_list(entries)
+            return tuple(ViaNeighbor(*item) for item in ordered)
+
+        # A replay only needs to re-derive the sending lists inside the
+        # final cone: a node whose value matches the recording, with no
+        # diverged neighbour and no changed incident link, reproduces its
+        # previous NodeState bit-for-bit, so the old state is copied.
+        rebuild: Optional[set] = None
+        if warm_ok:
+            rebuild = set(endpoints)
+            for node in diff:
+                rebuild.add(node)
+                rebuild.update(neighbors_of[node])
+        states = {}
+        for node in topology.nodes:
+            if rebuild is not None and node not in rebuild:
+                states[node] = warm.states[node]  # type: ignore[union-attr]
+                continue
+            vias = () if node == subscriber else final_vias(node)
+            states[node] = NodeState(d=d[node], r=r[node], sending_list=vias)
+        return DrTable(
+            publisher=publisher,
+            subscriber=subscriber,
+            deadline=deadline,
+            states=states,
+            budgets=budgets,
+            rounds=rounds,
+            converged=converged,
+            trajectory=tuple(trajectory),
+        )
 
 
 def compute_dr_table(
@@ -144,127 +516,59 @@ def compute_dr_table(
         small graphs with weak links).
     tol:
         Convergence threshold on the max change of any ``d`` or ``r``.
+
+    This is the one-shot convenience wrapper; to solve many pairs against
+    the same estimates, build one :class:`ControlPlaneSolver` (or call
+    :func:`compute_dr_tables`) so the link table, adjacency lists, and
+    per-publisher Dijkstra are shared instead of rebuilt per pair.
     """
-    require(m >= 1, f"m must be >= 1, got {m}")
-    require_positive(deadline, "deadline")
-    num_nodes = topology.num_nodes
-    if max_rounds is None:
-        max_rounds = max(64, 2 * num_nodes)
-
-    # Remaining budget at each broker: D_XS = D_PS - shortest_delay(P, X),
-    # with shortest delays taken over the monitor's alpha estimates.
-    weight_graph = _estimate_weight_graph(topology, estimates)
-    dist_from_publisher = nx.single_source_dijkstra_path_length(
-        weight_graph, publisher, weight="weight"
+    solver = ControlPlaneSolver(
+        topology, estimates, m=m, max_rounds=max_rounds, tol=tol
     )
-    budgets = {
-        node: deadline - dist_from_publisher.get(node, float("inf"))
-        for node in topology.nodes
-    }
+    return solver.solve(publisher, subscriber, deadline)
 
-    # Per-link m-transmission parameters (Eq. 1), symmetric.
-    link_m: Dict[Edge, Tuple[float, float]] = {}
-    for edge in topology.edges():
-        estimate = estimates[edge]
-        link_m[edge] = link_params_m(estimate.alpha, estimate.gamma, m)
 
-    num = topology.num_nodes
-    inf = float("inf")
-    d: List[float] = [inf] * num
-    r: List[float] = [0.0] * num
-    d[subscriber], r[subscriber] = 0.0, 1.0
+def compute_dr_tables(
+    topology: Topology,
+    estimates: Mapping[Edge, LinkEstimate],
+    publisher: int,
+    pairs: Sequence[Tuple[int, float]],
+    m: int = 1,
+    max_rounds: Optional[int] = None,
+    tol: float = 1e-9,
+    warm_tables: Optional[Sequence[Optional[DrTable]]] = None,
+    changed_edges: Optional[Iterable[Edge]] = None,
+    perf: Optional[PerfStats] = None,
+) -> List[DrTable]:
+    """Solve all subscribers of one publisher in a single batched pass.
 
-    # Pre-resolve each node's usable links once: (neighbor, alpha_m, gamma_m)
-    # with dead links (gamma 0 / alpha inf) dropped up front.
-    links_of: List[List[Tuple[int, float, float]]] = [[] for _ in range(num)]
-    for node in topology.nodes:
-        entries = links_of[node]
-        for neighbor in topology.neighbors(node):
-            alpha_m, gamma_m = link_m[canonical_edge(node, neighbor)]
-            if math.isfinite(alpha_m) and gamma_m > 0.0:
-                entries.append((neighbor, alpha_m, gamma_m))
+    Parameters
+    ----------
+    pairs:
+        ``(subscriber, deadline)`` tuples; the result list is aligned with
+        this sequence.
+    warm_tables:
+        Optional per-pair previous tables (aligned with *pairs*) used to
+        warm-start the Jacobi iteration; entries may be ``None``.
+    changed_edges:
+        The edges whose estimates changed since the warm tables were
+        solved (required for warm-starting to engage).
 
-    budget_of: List[float] = [budgets[node] for node in topology.nodes]
-
-    def recompute(node: int) -> Tuple[float, float]:
-        """One Eq. 2 + Theorem 1 + Eq. 3 evaluation from current d/r."""
-        budget = budget_of[node]
-        candidates: List[Tuple[float, int, float, float]] = []
-        for neighbor, alpha_m, gamma_m in links_of[node]:
-            d_i = d[neighbor]
-            # Algorithm 1 line 4: neighbour must expect delivery within the
-            # remaining budget; hopeless neighbours cannot help either.
-            r_i = r[neighbor]
-            if not (d_i < budget) or r_i <= 0.0:
-                continue
-            d_via = alpha_m + d_i
-            r_via = gamma_m * r_i
-            candidates.append((d_via / r_via, neighbor, d_via, r_via))
-        if not candidates:
-            return inf, 0.0
-        candidates.sort()
-        survive = 1.0
-        weighted = 0.0
-        cumulative = 0.0
-        for _, _, d_via, r_via in candidates:
-            cumulative += d_via
-            weighted += cumulative * r_via * survive
-            survive *= 1.0 - r_via
-        r_x = 1.0 - survive
-        if r_x <= 0.0:
-            return inf, 0.0
-        return weighted / r_x, r_x
-
-    rounds = 0
-    converged = False
-    # Jacobi with dirty-set propagation: a node is recomputed only when one
-    # of its neighbours changed in the previous round. Round 1 touches all.
-    dirty = set(topology.nodes) - {subscriber}
-    neighbors_of = [topology.neighbors(node) for node in topology.nodes]
-    while rounds < max_rounds and dirty:
-        rounds += 1
-        updates: List[Tuple[int, float, float]] = []
-        for node in dirty:
-            new_d, new_r = recompute(node)
-            old_d, old_r = d[node], r[node]
-            if abs(new_r - old_r) > tol:
-                updates.append((node, new_d, new_r))
-            elif math.isinf(new_d) != math.isinf(old_d):
-                updates.append((node, new_d, new_r))
-            elif math.isfinite(new_d) and abs(new_d - old_d) > tol:
-                updates.append((node, new_d, new_r))
-        dirty = set()
-        for node, new_d, new_r in updates:
-            d[node], r[node] = new_d, new_r
-            dirty.update(neighbors_of[node])
-        dirty.discard(subscriber)
-        if not updates:
-            converged = True
-            break
-    if not converged and not dirty:
-        converged = True
-
-    def final_vias(node: int) -> Tuple[ViaNeighbor, ...]:
-        budget = budget_of[node]
-        vias = []
-        for neighbor, alpha_m, gamma_m in links_of[node]:
-            d_i, r_i = d[neighbor], r[neighbor]
-            if not (d_i < budget) or r_i <= 0.0:
-                continue
-            vias.append(ViaNeighbor(neighbor, alpha_m + d_i, gamma_m * r_i))
-        ordered = order_sending_list([(v.neighbor, v.d_via, v.r_via) for v in vias])
-        return tuple(ViaNeighbor(*item) for item in ordered)
-
-    states = {}
-    for node in topology.nodes:
-        vias = () if node == subscriber else final_vias(node)
-        states[node] = NodeState(d=d[node], r=r[node], sending_list=vias)
-    return DrTable(
-        publisher=publisher,
-        subscriber=subscriber,
-        deadline=deadline,
-        states=states,
-        budgets=budgets,
-        rounds=rounds,
-        converged=converged,
+    The estimate weight graph, the Eq. 1 link table, the adjacency lists,
+    and the publisher's Dijkstra are computed once and shared across all
+    pairs; without warm tables the results are bit-identical to calling
+    :func:`compute_dr_table` once per pair.
+    """
+    solver = ControlPlaneSolver(
+        topology, estimates, m=m, max_rounds=max_rounds, tol=tol, perf=perf
     )
+    changed = tuple(changed_edges) if changed_edges is not None else None
+    tables: List[DrTable] = []
+    for index, (subscriber, deadline) in enumerate(pairs):
+        warm = warm_tables[index] if warm_tables is not None else None
+        tables.append(
+            solver.solve(
+                publisher, subscriber, deadline, warm=warm, changed_edges=changed
+            )
+        )
+    return tables

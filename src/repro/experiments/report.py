@@ -72,6 +72,35 @@ def render_cdf(
     return format_table(headers, rows)
 
 
+def render_perf(summaries: Mapping[str, object]) -> str:
+    """Per-strategy performance counters (one column per strategy).
+
+    Rows are the union of all counter names found in the summaries'
+    ``perf`` snapshots (control-plane solve time, tables reused vs
+    re-solved, warm-start rounds, event counts — see :mod:`repro.perf`);
+    strategies without a counter show ``-``.
+    """
+    names: List[str] = []
+    seen = set()
+    for summary in summaries.values():
+        for name in getattr(summary, "perf", {}) or {}:
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+    if not names:
+        return "(no perf counters recorded)"
+    names.sort()
+    headers = ["counter"] + list(summaries)
+    rows: List[List[object]] = []
+    for name in names:
+        row: List[object] = [name]
+        for summary in summaries.values():
+            perf = getattr(summary, "perf", {}) or {}
+            row.append(perf[name] if name in perf else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
 def render_comparison(summaries: Mapping[str, object]) -> str:
     """A one-row-per-strategy overview of a single configuration."""
     headers = [

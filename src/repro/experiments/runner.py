@@ -114,7 +114,25 @@ class SimulationEnvironment:
             self.ctx.network.stats.data_sent(),
             strategy=self.strategy.name,
             data_volume=self.ctx.network.stats.data_volume(),
+            perf=self._perf_snapshot(),
         )
+
+    def _perf_snapshot(self) -> Dict[str, float]:
+        """Assemble the run's perf counters (strategy + simulator)."""
+        perf: Dict[str, float] = {}
+        strategy_perf = getattr(self.strategy, "perf", None)
+        if strategy_perf is not None:
+            perf.update(strategy_perf.snapshot())
+        for counter in ("tasks_started", "abandoned"):
+            value = getattr(self.strategy, counter, None)
+            if value is not None:
+                perf[f"data_plane.{counter}"] = float(value)
+        rebuilds = getattr(self.strategy, "table_rebuilds", None)
+        if rebuilds is not None:
+            perf["control_plane.table_rebuilds"] = float(rebuilds)
+        perf["sim.events_processed"] = float(self.ctx.sim.processed_events)
+        perf["monitor.refreshes"] = float(self.ctx.monitor.refreshes)
+        return perf
 
 
 def build_environment(

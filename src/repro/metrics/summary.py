@@ -35,9 +35,15 @@ class MetricsSummary:
     #: ``packets_per_subscriber`` only for FEC fragments (size 1/k).
     traffic_per_subscriber: float = 0.0
     late_normalized_delays: List[float] = field(default_factory=list)
+    #: Performance instrumentation snapshot (control-plane solve time,
+    #: tables reused vs re-solved, warm-start rounds, event counts; see
+    #: :mod:`repro.perf`). Wall-clock values are non-deterministic, so the
+    #: field is excluded from equality and from :meth:`as_dict` — the
+    #: reproducibility tests compare both.
+    perf: Dict[str, float] = field(default_factory=dict, compare=False)
 
     def as_dict(self) -> Dict[str, object]:
-        """Plain-dict view (reports, JSON dumps)."""
+        """Plain-dict view (reports, JSON dumps). Excludes :attr:`perf`."""
         return {
             "strategy": self.strategy,
             "messages_published": self.messages_published,
@@ -60,10 +66,13 @@ def summarize(
     data_transmissions: int,
     strategy: str = "unknown",
     data_volume: Optional[float] = None,
+    perf: Optional[Dict[str, float]] = None,
 ) -> MetricsSummary:
     """Reduce a collector plus the DATA-frame counters to a summary.
 
     ``data_volume`` defaults to the transmission count (frames of size 1).
+    ``perf`` is an optional :meth:`repro.perf.PerfStats.snapshot` to carry
+    along for diagnostics.
     """
     expected = collector.expected_deliveries
     delivered = collector.delivered_count()
@@ -88,6 +97,7 @@ def summarize(
         p95_delay=p95_delay,
         traffic_per_subscriber=data_volume / expected if expected else 0.0,
         late_normalized_delays=collector.late_normalized_delays(),
+        perf=dict(perf) if perf else {},
     )
 
 
@@ -106,6 +116,10 @@ def mean_summaries(summaries: Sequence[MetricsSummary]) -> MetricsSummary:
     late: List[float] = []
     for summary in summaries:
         late.extend(summary.late_normalized_delays)
+    merged_perf: Dict[str, float] = {}
+    for summary in summaries:
+        for name, value in summary.perf.items():
+            merged_perf[name] = merged_perf.get(name, 0.0) + value
     mean_delays = [s.mean_delay for s in summaries if s.mean_delay is not None]
     p95_delays = [s.p95_delay for s in summaries if s.p95_delay is not None]
     return MetricsSummary(
@@ -127,4 +141,5 @@ def mean_summaries(summaries: Sequence[MetricsSummary]) -> MetricsSummary:
             np.mean([s.traffic_per_subscriber for s in summaries])
         ),
         late_normalized_delays=late,
+        perf=merged_perf,
     )

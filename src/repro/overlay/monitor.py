@@ -23,7 +23,8 @@ Two estimation modes are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from types import MappingProxyType
+from typing import Dict, FrozenSet, Mapping
 
 from repro.overlay.links import OverlayNetwork
 from repro.overlay.topology import Edge, Topology, canonical_edge
@@ -83,7 +84,11 @@ class LinkMonitor:
         self._gamma_floor = gamma_floor
         self._rng = streams.get("monitor")
         self._estimates: Dict[Edge, LinkEstimate] = {}
+        self._view = MappingProxyType(self._estimates)
         self._refreshes = 0
+        self._version = 0
+        self._last_changed: FrozenSet[Edge] = frozenset()
+        self._last_alpha_changed = False
         self.refresh()
 
     @property
@@ -96,34 +101,85 @@ class LinkMonitor:
         """How many monitoring cycles have completed."""
         return self._refreshes
 
+    @property
+    def version(self) -> int:
+        """Monotone estimate version: bumps only when a refresh changed
+        at least one link's estimate.
+
+        Consumers (the DCRD control plane) compare this counter instead of
+        hashing/sorting all estimates, making the "nothing changed" check
+        O(1) per monitoring cycle.
+        """
+        return self._version
+
+    @property
+    def last_changed(self) -> FrozenSet[Edge]:
+        """Edges whose estimate changed in the refresh that produced
+        :attr:`version` (all edges after the initial cycle)."""
+        return self._last_changed
+
+    @property
+    def last_alpha_changed(self) -> bool:
+        """Whether any *latency* (alpha) estimate changed in that refresh.
+
+        Alpha feeds the delay-budget Dijkstra, so an alpha change
+        invalidates every table; gamma-only changes invalidate selectively.
+        """
+        return self._last_alpha_changed
+
     def estimate(self, u: int, v: int) -> LinkEstimate:
         """Current belief about link (u, v)."""
         return self._estimates[canonical_edge(u, v)]
 
-    def estimates(self) -> Dict[Edge, LinkEstimate]:
-        """A snapshot copy of all link estimates."""
+    def estimates(self) -> Mapping[Edge, LinkEstimate]:
+        """A read-only live view of all link estimates (no copying).
+
+        The view always reflects the latest refresh; callers needing an
+        isolated copy should use :meth:`snapshot`.
+        """
+        return self._view
+
+    def snapshot(self) -> Dict[Edge, LinkEstimate]:
+        """An isolated snapshot copy of all link estimates."""
         return dict(self._estimates)
 
     def refresh(self) -> None:
-        """Run one monitoring cycle, updating every link's estimate."""
+        """Run one monitoring cycle, updating every link's estimate.
+
+        Records which edges' estimates actually changed (``last_changed``)
+        and bumps :attr:`version` only when at least one did.
+        """
         if self._mode == "analytic":
-            self._refresh_analytic()
+            new = self._refresh_analytic()
         else:
-            self._refresh_sampled()
+            new = self._refresh_sampled()
+        changed = [
+            edge for edge, est in new.items() if self._estimates.get(edge) != est
+        ]
+        if changed:
+            self._last_alpha_changed = any(
+                edge not in self._estimates
+                or self._estimates[edge].alpha != new[edge].alpha
+                for edge in changed
+            )
+            self._last_changed = frozenset(changed)
+            self._estimates.update(new)
+            self._version += 1
         self._refreshes += 1
 
     # ------------------------------------------------------------------
     def _truth(self, edge: Edge) -> float:
         return self._network.link_success_probability(*edge)
 
-    def _refresh_analytic(self) -> None:
+    def _refresh_analytic(self) -> Dict[Edge, LinkEstimate]:
+        new = {}
         for edge in self._topology.edges():
             gamma = max(self._truth(edge), self._gamma_floor)
-            self._estimates[edge] = LinkEstimate(
-                alpha=self._topology.delay(*edge), gamma=gamma
-            )
+            new[edge] = LinkEstimate(alpha=self._topology.delay(*edge), gamma=gamma)
+        return new
 
-    def _refresh_sampled(self) -> None:
+    def _refresh_sampled(self) -> Dict[Edge, LinkEstimate]:
+        new = {}
         for edge in self._topology.edges():
             truth = self._truth(edge)
             successes = int(self._rng.binomial(self._probes, truth))
@@ -137,6 +193,5 @@ class LinkMonitor:
                     + (1.0 - self._ewma_weight) * previous.gamma
                 )
             gamma = max(gamma, self._gamma_floor)
-            self._estimates[edge] = LinkEstimate(
-                alpha=self._topology.delay(*edge), gamma=gamma
-            )
+            new[edge] = LinkEstimate(alpha=self._topology.delay(*edge), gamma=gamma)
+        return new

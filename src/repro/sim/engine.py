@@ -27,7 +27,7 @@ class Event:
     callback fires; ``seq`` breaks ties FIFO for events at the same time.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired", "_on_cancel")
 
     def __init__(
         self,
@@ -35,20 +35,32 @@ class Event:
         seq: int,
         callback: Callable[..., None],
         args: tuple,
+        on_cancel: Optional[Callable[[], None]] = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self._on_cancel = on_cancel
 
     def cancel(self) -> None:
-        """Prevent this event from firing. Safe to call more than once."""
+        """Prevent this event from firing. Safe to call more than once.
+
+        Cancelling an event that already fired (or was already cancelled)
+        is a no-op, so holders may cancel handles unconditionally.
+        """
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
         # Drop references early so cancelled events don't pin large objects
         # while they wait to surface from the heap.
         self.callback = _noop
         self.args = ()
+        if self._on_cancel is not None:
+            self._on_cancel()
+            self._on_cancel = None
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -86,6 +98,13 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
+        # Live (scheduled, not yet fired, not cancelled) event count.
+        # Maintained incrementally so ``pending_events`` is O(1) even with
+        # lazy cancellation leaving tombstones in the heap.
+        self._live = 0
+
+    def _on_event_cancelled(self) -> None:
+        self._live -= 1
 
     @property
     def now(self) -> float:
@@ -94,8 +113,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-fired, not-cancelled events in the queue."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-fired, not-cancelled events in the queue (O(1))."""
+        return self._live
 
     @property
     def processed_events(self) -> int:
@@ -113,8 +132,15 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = Event(self._now + delay, next(self._seq), callback, args)
+        event = Event(
+            self._now + delay,
+            next(self._seq),
+            callback,
+            args,
+            on_cancel=self._on_event_cancelled,
+        )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_at(
@@ -125,8 +151,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, next(self._seq), callback, args)
+        event = Event(
+            time, next(self._seq), callback, args, on_cancel=self._on_event_cancelled
+        )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -138,8 +167,10 @@ class Simulator:
             Stop once virtual time would exceed this value; events scheduled
             exactly at ``until`` still fire. ``None`` drains the queue.
         max_events:
-            Safety valve for runaway schedules; raises
-            :class:`SimulationError` when exceeded.
+            Safety valve for runaway schedules: at most ``max_events`` events
+            execute; a :class:`SimulationError` is raised as soon as one more
+            would run. A schedule of exactly ``max_events`` events finishes
+            cleanly.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
@@ -153,15 +184,17 @@ class Simulator:
                     continue
                 if until is not None and event.time > until:
                     break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway schedule?"
+                    )
                 heapq.heappop(self._heap)
+                self._live -= 1
+                event.fired = True
                 self._now = event.time
                 event.callback(*event.args)
                 self._processed += 1
                 executed += 1
-                if max_events is not None and executed > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway schedule?"
-                    )
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -177,6 +210,8 @@ class Simulator:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._live -= 1
+            event.fired = True
             self._now = event.time
             event.callback(*event.args)
             self._processed += 1
@@ -185,4 +220,12 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events without running them (keeps the clock)."""
+        for event in self._heap:
+            # Mark dropped events cancelled so late cancel() calls on their
+            # handles stay no-ops (and don't corrupt the live counter).
+            event.cancelled = True
+            event.callback = _noop
+            event.args = ()
+            event._on_cancel = None
         self._heap.clear()
+        self._live = 0

@@ -1,0 +1,225 @@
+"""Equivalence of the batched/incremental control-plane solver.
+
+The refactored control plane has three acceleration layers — shared
+per-refresh artifacts (:class:`ControlPlaneSolver`), dirty-edge table
+reuse, and warm-started trajectory replay — and all of them must be
+behaviourally invisible: batched cold solves are bit-identical to
+per-pair :func:`compute_dr_table` calls, reused tables are the exact
+previous objects, and replayed tables equal the from-scratch solution
+bit-for-bit (the replay reproduces the cold Jacobi trajectory itself).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.computation import (
+    ControlPlaneSolver,
+    compute_dr_table,
+    compute_dr_tables,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_environment
+from repro.extensions.churn import ChurnProcess
+from repro.overlay.links import OverlayNetwork
+from repro.overlay.monitor import LinkMonitor
+from repro.overlay.topology import random_regular
+from repro.perf import PerfStats
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+
+
+def build_world(seed, mode, loss_rate=0.02, num_nodes=30, degree=4):
+    """A topology + sampled/analytic monitor whose estimates can be refreshed."""
+    rng = np.random.default_rng(seed)
+    topology = random_regular(num_nodes, degree, rng)
+    streams = RandomStreams(seed)
+    sim = Simulator()
+    network = OverlayNetwork(sim, topology, streams, loss_rate=loss_rate)
+    monitor = LinkMonitor(topology, network, streams, mode=mode)
+    return topology, monitor
+
+
+def make_pairs(topology, publishers=(0, 1, 2), per_publisher=3, factor=2.5):
+    """(publisher, subscriber, deadline) pairs spread over *publishers*."""
+    pairs = []
+    subscriber = len(publishers)
+    for index in range(per_publisher * len(publishers)):
+        publisher = publishers[index % len(publishers)]
+        deadline = factor * topology.shortest_delay(publisher, subscriber)
+        pairs.append((publisher, subscriber, deadline))
+        subscriber += 2
+    return pairs
+
+
+class TestBatchedColdSolves:
+    @pytest.mark.parametrize("mode", ["analytic", "sampled"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_bit_identical_to_per_pair(self, mode, seed):
+        """Batched cold solving is the identical computation, reorganised."""
+        topology, monitor = build_world(seed, mode)
+        estimates = monitor.estimates()
+        pairs = make_pairs(topology)
+        for publisher in {p for p, _, _ in pairs}:
+            pub_pairs = [(s, dl) for p, s, dl in pairs if p == publisher]
+            batched = compute_dr_tables(topology, estimates, publisher, pub_pairs)
+            for table, (subscriber, deadline) in zip(batched, pub_pairs):
+                reference = compute_dr_table(
+                    topology, estimates, publisher, subscriber, deadline
+                )
+                assert table == reference
+
+    def test_one_dijkstra_per_publisher(self):
+        """The budget Dijkstra is shared across a publisher's subscribers."""
+        topology, monitor = build_world(0, "analytic")
+        perf = PerfStats()
+        solver = ControlPlaneSolver(topology, monitor.estimates(), perf=perf)
+        for publisher, subscriber, deadline in make_pairs(topology):
+            solver.solve(publisher, subscriber, deadline)
+        assert perf.get("control_plane.dijkstra_calls") == 3
+        assert perf.get("control_plane.tables_solved_cold") == 9
+
+
+class TestIncrementalRefresh:
+    @pytest.mark.parametrize("mode", ["analytic", "sampled"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exactly_matches_from_scratch(self, mode, seed):
+        """Reuse + replay across two chained refreshes equals cold solving."""
+        topology, monitor = build_world(seed, mode)
+        pairs = make_pairs(topology)
+        cold0 = ControlPlaneSolver(topology, monitor.estimates())
+        previous = {(p, s): cold0.solve(p, s, dl) for p, s, dl in pairs}
+
+        for _ in range(2):  # chain: replayed tables feed the next replay
+            monitor.refresh()
+            changed = monitor.last_changed
+            estimates = monitor.estimates()
+            solver = ControlPlaneSolver(topology, estimates)
+            for publisher, subscriber, deadline in pairs:
+                warm = previous[(publisher, subscriber)]
+                if not solver.table_affected(publisher, deadline, changed):
+                    incremental = warm
+                else:
+                    incremental = solver.solve(
+                        publisher, subscriber, deadline,
+                        warm=warm, changed_edges=changed,
+                    )
+                reference = compute_dr_table(
+                    topology, estimates, publisher, subscriber, deadline
+                )
+                assert incremental == reference
+                assert incremental.rounds == reference.rounds
+                assert incremental.converged == reference.converged
+                previous[(publisher, subscriber)] = incremental
+
+    def test_unaffected_table_detected_and_exact(self):
+        """A changed edge outside the deadline horizon is provably inert."""
+        topology, monitor = build_world(3, "analytic")
+        solver0 = ControlPlaneSolver(topology, monitor.estimates())
+        publisher, subscriber = 0, topology.neighbors(0)[0]
+        # Deadline just beyond the direct link: only nearby brokers have a
+        # positive budget, so a far edge cannot influence the table.
+        deadline = 1.5 * topology.shortest_delay(publisher, subscriber)
+        table = solver0.solve(publisher, subscriber, deadline)
+        distances = solver0.distances_from(publisher)
+        far_edges = [
+            (u, v)
+            for u, v in topology.edges()
+            if min(distances[u], distances[v]) >= deadline
+        ]
+        assert far_edges, "scenario needs at least one out-of-horizon edge"
+        assert not solver0.table_affected(publisher, deadline, far_edges)
+        # And indeed re-solving from scratch reproduces the table exactly.
+        assert solver0.solve(publisher, subscriber, deadline) == table
+
+    def test_warm_start_falls_back_cold_on_mismatch(self):
+        """Non-matching warm tables are ignored, not misapplied."""
+        topology, monitor = build_world(4, "sampled")
+        estimates_before = monitor.snapshot()
+        publisher, subscriber = 0, 9
+        deadline = 2.5 * topology.shortest_delay(publisher, subscriber)
+        warm = compute_dr_table(
+            topology, estimates_before, publisher, subscriber, deadline
+        )
+        monitor.refresh()
+        changed = monitor.last_changed
+        perf = PerfStats()
+        solver = ControlPlaneSolver(topology, monitor.estimates(), perf=perf)
+        # Different deadline -> different budgets -> must solve cold.
+        solver.solve(
+            publisher, subscriber, deadline * 1.5,
+            warm=warm, changed_edges=changed,
+        )
+        # Missing changed_edges -> must solve cold.
+        solver.solve(publisher, subscriber, deadline, warm=warm)
+        assert perf.get("control_plane.tables_solved_cold") == 2
+        assert perf.get("control_plane.tables_warm_started") == 0
+
+
+def run_dcrd(config, seed, incremental, churn_rate=None):
+    """One DCRD run with the incremental control plane toggled."""
+    env = build_environment(config, "DCRD", seed)
+    env.strategy.incremental = incremental
+    churn = None
+    if churn_rate is not None:
+        churn = ChurnProcess(
+            env.ctx,
+            env.strategy,
+            rate=churn_rate,
+            deadline_factor=config.deadline_factor,
+            stop_time=config.duration,
+        )
+        churn.start()
+    return env.execute()
+
+
+class TestStrategyDeterminism:
+    """run_single results are invariant to the incremental machinery.
+
+    ``MetricsSummary`` equality covers every reported metric (the ``perf``
+    diagnostics field is excluded by design — wall-clock times differ).
+    """
+
+    CONFIG = ExperimentConfig(
+        topology_kind="regular",
+        degree=5,
+        failure_probability=0.06,
+        duration=20.0,
+        monitor_period=5.0,  # several refreshes, so warm-starts engage
+    )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_identical_summaries(self, seed):
+        reference = run_dcrd(self.CONFIG, seed, incremental=False)
+        incremental = run_dcrd(self.CONFIG, seed, incremental=True)
+        assert incremental == reference
+        assert incremental.as_dict() == reference.as_dict()
+
+    def test_identical_summaries_sampled_monitor(self):
+        config = self.CONFIG.with_updates(monitor_mode="sampled", loss_rate=0.01)
+        reference = run_dcrd(config, 0, incremental=False)
+        incremental = run_dcrd(config, 0, incremental=True)
+        assert incremental == reference
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_identical_summaries_under_churn(self, seed):
+        config = self.CONFIG.with_updates(monitor_mode="sampled", loss_rate=0.01)
+        reference = run_dcrd(config, seed, incremental=False, churn_rate=2.0)
+        incremental = run_dcrd(config, seed, incremental=True, churn_rate=2.0)
+        assert incremental == reference
+
+    def test_perf_counters_exposed(self):
+        summary = run_dcrd(
+            self.CONFIG.with_updates(monitor_mode="sampled"), 0, incremental=True
+        )
+        perf = summary.perf
+        assert perf.get("control_plane.table_rebuilds", 0) >= 1
+        assert perf.get("control_plane.dijkstra_calls", 0) >= 1
+        assert perf.get("control_plane.solve_time_s", 0) > 0
+        assert perf.get("sim.events_processed", 0) > 0
+        assert perf.get("monitor.refreshes", 0) >= 1
+        # Warm-starts engage once there is a previous refresh to start from.
+        assert perf.get("control_plane.tables_warm_started", 0) >= 1
+        # The diagnostics stay out of the deterministic report dict.
+        assert "perf" not in summary.as_dict()

@@ -82,3 +82,43 @@ def test_invalid_probe_count_rejected():
 def test_mode_property():
     _, monitor = make_monitor(mode="sampled")
     assert monitor.mode == "sampled"
+
+
+def test_version_bumps_only_on_actual_change():
+    """Analytic estimates are deterministic, so repeat refreshes are no-ops."""
+    _, monitor = make_monitor(loss_rate=0.2)
+    assert monitor.version == 1  # the constructor's initial cycle
+    for _ in range(3):
+        monitor.refresh()
+    assert monitor.version == 1
+    assert monitor.refreshes == 4
+
+
+def test_version_and_last_changed_track_sampled_refreshes():
+    topo, monitor = make_monitor(loss_rate=0.3, mode="sampled", probes_per_cycle=50)
+    assert monitor.version == 1
+    assert monitor.last_changed == frozenset(topo.edges())
+    before = monitor.snapshot()
+    monitor.refresh()
+    changed = {
+        edge for edge in topo.edges() if monitor.estimate(*edge) != before[edge]
+    }
+    assert monitor.last_changed == changed
+    assert monitor.version == (2 if changed else 1)
+
+
+def test_estimates_view_is_read_only():
+    topo, monitor = make_monitor()
+    view = monitor.estimates()
+    with pytest.raises(TypeError):
+        view[(0, 1)] = view[(0, 1)]
+
+
+def test_estimates_view_is_live_and_snapshot_is_isolated():
+    _, monitor = make_monitor(loss_rate=0.3, mode="sampled", probes_per_cycle=50)
+    view = monitor.estimates()
+    frozen = monitor.snapshot()
+    stale = dict(view)
+    monitor.refresh()
+    assert dict(view) != stale  # the view tracks the refresh...
+    assert frozen == stale  # ...while the snapshot does not.

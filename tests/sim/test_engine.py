@@ -174,6 +174,64 @@ def test_max_events_guard_trips_on_runaway():
         sim.run(max_events=100)
 
 
+def test_max_events_executes_exactly_the_budget():
+    """The guard trips before event max_events + 1, not after it."""
+    sim = Simulator()
+    fired = []
+
+    def forever():
+        fired.append(sim.now)
+        sim.schedule(1.0, forever)
+
+    sim.schedule(1.0, forever)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=7)
+    assert len(fired) == 7
+
+
+def test_max_events_allows_schedule_of_exactly_that_size():
+    """A finite schedule of exactly max_events events finishes cleanly."""
+    sim = Simulator()
+    fired = []
+    for index in range(5):
+        sim.schedule(float(index), fired.append, index)
+    sim.run(max_events=5)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_pending_events_through_cancel_fire_and_clear():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+    assert sim.pending_events == 4
+    events[0].cancel()
+    assert sim.pending_events == 3
+    sim.step()  # pops the cancelled event and fires the first live one
+    assert sim.pending_events == 2
+    sim.clear()
+    assert sim.pending_events == 0
+
+
+def test_cancel_after_fire_is_a_noop():
+    """Cancelling an already-fired handle must not corrupt the counter."""
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(2.0, lambda: None)
+    sim.step()
+    assert fired == ["x"]
+    event.cancel()
+    event.cancel()
+    assert sim.pending_events == 1
+
+
+def test_cancel_after_clear_is_a_noop():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    sim.clear()
+    event.cancel()
+    assert sim.pending_events == 0
+
+
 def test_run_until_advances_clock_even_with_empty_queue():
     sim = Simulator()
     sim.run(until=10.0)
