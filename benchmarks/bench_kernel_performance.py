@@ -6,11 +6,13 @@ These pin the performance of the three hot paths so regressions show up in
 the paper's default scale.
 """
 
+import os
+
 import numpy as np
 
 from repro.core.computation import ControlPlaneSolver, compute_dr_table
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_single
+from repro.experiments.runner import build_environment, run_single
 from repro.overlay.links import OverlayNetwork
 from repro.overlay.monitor import LinkEstimate, LinkMonitor
 from repro.overlay.topology import random_regular
@@ -18,7 +20,16 @@ from repro.perf import time_call
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 
-from _common import save_report
+from _common import bench_duration, save_report
+
+#: Events/sec of the data-plane benchmark scenario measured at the commit
+#: immediately before the fast path landed (tuple-keyed heap, frame fast
+#: copies, hot-loop caching), on the reference machine: best of 6
+#: interleaved old/new rounds so both sides saw the same load. Overridable
+#: for other machines via ``REPRO_BENCH_BASELINE_EPS``.
+DATA_PLANE_BASELINE_EPS = float(
+    os.environ.get("REPRO_BENCH_BASELINE_EPS", 52_015.0)
+)
 
 
 def test_event_throughput(benchmark):
@@ -161,6 +172,68 @@ def test_control_plane_batched_refresh(benchmark):
 
     benchmark.pedantic(incremental, rounds=3, iterations=1)
     assert speedup >= 3.0, f"expected >= 3x speedup, measured {speedup:.2f}x"
+
+
+def test_data_plane_fast_path(benchmark):
+    """End-to-end data-plane throughput at Figure-5's hardest scale.
+
+    One full DCRD run on a 160-node degree-8 overlay; the timed region is
+    ``execute()`` only (construction excluded), reported as processed
+    events per wall-clock second. Best-of-N defeats transient load spikes.
+    At the full default duration the measurement must stay >= 2x the
+    recorded pre-fast-path baseline; smoke runs (a reduced
+    ``REPRO_BENCH_DURATION``) report the numbers without asserting, since
+    short runs amortise startup badly and CI machines vary.
+    """
+    duration = bench_duration(10.0)
+    config = ExperimentConfig(
+        topology_kind="regular",
+        degree=8,
+        num_nodes=160,
+        num_topics=4,
+        publish_interval=0.2,
+        failure_probability=0.06,
+        duration=duration,
+    )
+    full_scale = duration >= 10.0
+    rounds = 5 if full_scale else 2
+
+    best_eps, events, summary = 0.0, 0, None
+    for _ in range(rounds):
+        env = build_environment(config, "DCRD", seed=0)
+        elapsed, summary = time_call(env.execute)
+        events = env.ctx.sim.processed_events
+        best_eps = max(best_eps, events / elapsed)
+
+    speedup = best_eps / DATA_PLANE_BASELINE_EPS
+    perf = summary.perf
+    lines = [
+        "Data-plane fast path (160 nodes, degree 8, DCRD, seed 0, "
+        f"duration {duration:g}s)",
+        f"  events per run            {events}",
+        f"  best of {rounds} rounds          {best_eps:10.0f} events/s",
+        f"  pre-change baseline       {DATA_PLANE_BASELINE_EPS:10.0f} events/s"
+        " (best of 6 interleaved rounds)",
+        f"  speedup                   {speedup:10.2f}x",
+        f"  heap compactions          {perf['sim.heap_compactions']:10.0f}",
+        f"  tombstones reaped         {perf['sim.tombstones_reaped']:10.0f}",
+        f"  ACK timers cancelled      {perf['arq.timers_cancelled']:10.0f}",
+        f"  frames forwarded          {perf['data_plane.frames_forwarded']:10.0f}",
+    ]
+    save_report("data_plane", "\n".join(lines))
+
+    benchmark.pedantic(
+        lambda: build_environment(config, "DCRD", seed=0).execute(),
+        rounds=1,
+        iterations=1,
+    )
+    assert summary.delivery_ratio > 0.9
+    if full_scale:
+        assert speedup >= 2.0, (
+            f"data-plane fast path regressed: {best_eps:.0f} events/s is "
+            f"{speedup:.2f}x the recorded baseline "
+            f"{DATA_PLANE_BASELINE_EPS:.0f} (need >= 2x)"
+        )
 
 
 def test_full_dcrd_run(benchmark):

@@ -144,6 +144,13 @@ class DrTable:
     trajectory: Optional[Tuple[Tuple[Tuple[int, float, float], ...], ...]] = field(
         default=None, compare=False, repr=False
     )
+    #: Lazy per-node cache of :meth:`sending_list` results. The forwarding
+    #: data plane asks for the same node's list once per dispatched
+    #: destination; ``NodeState.neighbor_order`` rebuilds its tuple on every
+    #: access, so memoise it here (states are immutable after the solve).
+    _orders: Dict[int, Tuple[int, ...]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def state(self, node: int) -> NodeState:
         """The :class:`NodeState` of *node*."""
@@ -151,7 +158,11 @@ class DrTable:
 
     def sending_list(self, node: int) -> Tuple[int, ...]:
         """Ordered candidate next hops of *node* for this subscriber."""
-        return self.states[node].neighbor_order
+        order = self._orders.get(node)
+        if order is None:
+            order = self.states[node].neighbor_order
+            self._orders[node] = order
+        return order
 
     def budget(self, node: int) -> float:
         """``D_XS``: the remaining delay requirement at *node*."""

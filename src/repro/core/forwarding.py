@@ -64,42 +64,66 @@ class _DeliveryTask:
         self.failed_neighbors: Set[int] = set()
         self.upstream = frame.upstream_of(node)
         self._hop_of_copy: Dict[int, int] = {}
-        self._dispatch(set(self.pending))
+        # The frozenset is iterated while ``pending`` (a distinct set) is
+        # mutated, so no defensive copy is needed.
+        self._dispatch(frame.destinations)
 
     # ------------------------------------------------------------------
-    def _next_hop(self, subscriber: int) -> Optional[int]:
-        """Lines 9–12: first qualified node, else the upstream broker."""
-        path = self.frame.routing_path
-        sending_list = self.strategy.sending_list(self.frame.topic, subscriber, self.node)
-        for candidate in sending_list:
-            if candidate in path or candidate in self.failed_neighbors:
-                continue
-            if candidate == self.node:
-                continue
-            return candidate
-        upstream = self.upstream
-        if upstream >= 0 and upstream not in self.failed_neighbors:
-            return upstream
-        return None
+    def _dispatch(self, subscribers: FrozenSet[int]) -> None:
+        """Assign each pending destination to a next hop and send copies.
 
-    def _dispatch(self, subscribers: Set[int]) -> None:
-        """Assign each pending destination to a next hop and send copies."""
+        The next hop of a destination (lines 9–12) is the first node on its
+        sending list that is neither on the routing path (``path_set`` makes
+        that test O(1)) nor already failed, else the upstream broker. The
+        selection is inlined here with its loop invariants (path, failed
+        set, upstream fallback, table plumbing) hoisted out of the
+        per-subscriber iteration.
+        """
         groups: Dict[int, Set[int]] = {}
+        pending = self.pending
+        frame = self.frame
+        path = frame.path_set
+        node = self.node
+        failed = self.failed_neighbors
+        upstream = self.upstream
+        bounce = upstream if upstream >= 0 and upstream not in failed else None
+        tables_get = self.strategy._tables.get
+        topic = frame.topic
         for subscriber in subscribers:
-            if subscriber not in self.pending:
+            if subscriber not in pending:
                 continue
-            hop = self._next_hop(subscriber)
+            hop = bounce
+            table = tables_get((topic, subscriber))
+            if table is not None:
+                sending_list = table._orders.get(node)
+                if sending_list is None:
+                    sending_list = table.sending_list(node)
+                for candidate in sending_list:
+                    if candidate in path or candidate in failed or candidate == node:
+                        continue
+                    hop = candidate
+                    break
             if hop is None:
-                self.pending.discard(subscriber)
+                pending.discard(subscriber)
                 self.strategy.abandon(self.node, self.frame, subscriber)
                 continue
-            groups.setdefault(hop, set()).add(subscriber)
+            group = groups.get(hop)
+            if group is None:
+                groups[hop] = {subscriber}
+            else:
+                group.add(subscriber)
+        if not groups:
+            return
+        strategy = self.strategy
+        strategy.frames_forwarded += len(groups)
+        arq_send = strategy.arq.send
+        hop_of_copy = self._hop_of_copy
+        node = self.node
+        frame = self.frame
         for hop, dests in groups.items():
-            copy = self.frame.forwarded(self.node, frozenset(dests))
-            self._hop_of_copy[copy.transfer_id] = hop
-            self.strategy.arq.send(
-                self.node, hop, copy, self._on_acked, self._on_failed
-            )
+            copy = frame.forwarded(node, frozenset(dests))
+            hop_of_copy[copy.transfer_id] = hop
+            arq_send(node, hop, copy, self._on_acked, self._on_failed)
 
     # ------------------------------------------------------------------
     # ARQ callbacks
@@ -113,7 +137,7 @@ class _DeliveryTask:
         """m transmissions went unACKed: mark the hop dead, re-dispatch."""
         hop = self._hop_of_copy.pop(copy.transfer_id)
         self.failed_neighbors.add(hop)
-        self._dispatch(set(copy.destinations))
+        self._dispatch(copy.destinations)
 
 
 class DcrdStrategy(RoutingStrategy):
@@ -151,6 +175,12 @@ class DcrdStrategy(RoutingStrategy):
     def setup(self) -> None:
         """Solve the ``<d, r>`` recursion for every (topic, subscriber) pair."""
         self._rebuild_tables()
+        # handle_ack is a pure delegation to the ARQ layer; skip the hop on
+        # the per-ACK hot path unless a subclass overrides it. Bound here
+        # rather than in __init__ so subclasses that swap in their own
+        # ArqSender (e.g. the adaptive-RTO extension) are honoured.
+        if type(self).handle_ack is DcrdStrategy.handle_ack:
+            self.handle_ack = self.arq.handle_ack
 
     def on_monitor_refresh(self) -> None:
         """Re-run Algorithm 1 when the monitor publishes new estimates."""

@@ -123,14 +123,21 @@ class SimulationEnvironment:
         strategy_perf = getattr(self.strategy, "perf", None)
         if strategy_perf is not None:
             perf.update(strategy_perf.snapshot())
-        for counter in ("tasks_started", "abandoned"):
+        for counter in ("tasks_started", "abandoned", "frames_forwarded"):
             value = getattr(self.strategy, counter, None)
             if value is not None:
                 perf[f"data_plane.{counter}"] = float(value)
         rebuilds = getattr(self.strategy, "table_rebuilds", None)
         if rebuilds is not None:
             perf["control_plane.table_rebuilds"] = float(rebuilds)
-        perf["sim.events_processed"] = float(self.ctx.sim.processed_events)
+        arq = getattr(self.strategy, "arq", None)
+        if arq is not None:
+            perf["arq.timers_cancelled"] = float(arq.timers_cancelled)
+            perf["arq.retransmissions"] = float(arq.retransmissions)
+        sim = self.ctx.sim
+        perf["sim.events_processed"] = float(sim.processed_events)
+        perf["sim.heap_compactions"] = float(sim.heap_compactions)
+        perf["sim.tombstones_reaped"] = float(sim.tombstones_reaped)
         perf["monitor.refreshes"] = float(self.ctx.monitor.refreshes)
         return perf
 

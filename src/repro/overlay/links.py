@@ -14,6 +14,12 @@ Loss semantics (documented in DESIGN.md §5.3):
 * otherwise it is lost with independent probability ``Pl``;
 * node failures (extension) drop frames whose sender or receiver is down;
 * DATA and ACK frames are subject to the same hazards.
+
+``transmit`` is the single hottest call of the data plane (every DATA frame,
+ACK, and retransmission goes through it), so per-direction immutable state —
+propagation delay, effective loss rate, receiver handler — is resolved once
+into :attr:`OverlayNetwork._dir_cache` and reused; the cache is invalidated
+whenever a handler attaches/detaches or ``link_loss_rates`` is mutated.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from __future__ import annotations
 import enum
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.overlay.failures import FailureSchedule, NodeFailureSchedule
 from repro.overlay.topology import Topology, canonical_edge
@@ -33,6 +39,9 @@ from repro.util.validation import require_probability
 FrameHandler = Callable[[int, Any], None]
 """Signature of a node's receive hook: ``handler(sender, frame)``."""
 
+_INF = float("inf")
+_heappush = heapq.heappush
+
 
 class FrameKind(enum.Enum):
     """Classes of frames the accounting distinguishes."""
@@ -40,6 +49,13 @@ class FrameKind(enum.Enum):
     DATA = "data"
     ACK = "ack"
     PROBE = "probe"
+
+    # Enum's default __hash__ is a Python-level method; members are
+    # singletons, so the C-level identity hash is equivalent for dict keys
+    # (LinkStats is indexed per frame on the hot path) and much cheaper.
+    # Determinism is unaffected: dicts iterate in insertion order, and no
+    # code orders FrameKind members by hash.
+    __hash__ = object.__hash__
 
 
 @dataclass
@@ -91,13 +107,68 @@ class LinkStats:
 
 @dataclass(frozen=True)
 class Transmission:
-    """A record of one frame handed to the network (used by tests/tracing)."""
+    """A record of one frame handed to the network (used by tests/tracing).
+
+    ``survived`` reflects the *link hazards at departure time* (failed
+    epoch, random loss, node down). A frame accepted onto a busy EDF
+    direction is recorded ``survived=True`` at enqueue; if the
+    ``edf_drop_expired`` overload policy later discards it, a **follow-up
+    record** with ``expired=True`` (and ``survived=False``) is appended at
+    drop time, so the trace reconciles exactly with
+    ``stats.dropped_expired``.
+    """
 
     time: float
     src: int
     dst: int
     kind: FrameKind
     survived: bool
+    expired: bool = False
+
+
+class _LossRateMap(dict):
+    """``link_loss_rates`` view that invalidates the direction cache.
+
+    Tests (and future dynamic-loss extensions) mutate
+    ``network.link_loss_rates`` in place after construction; the effective
+    loss per direction is baked into ``_dir_cache``, so every mutation must
+    drop the cached entries.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, data: Dict[tuple, float], owner: "OverlayNetwork") -> None:
+        super().__init__(data)
+        self._owner = owner
+
+    def _invalidate(self) -> None:
+        self._owner._dir_cache.clear()
+
+    def __setitem__(self, key: tuple, value: float) -> None:
+        super().__setitem__(key, value)
+        self._invalidate()
+
+    def __delitem__(self, key: tuple) -> None:
+        super().__delitem__(key)
+        self._invalidate()
+
+    def update(self, *args: Any, **kwargs: Any) -> None:
+        super().update(*args, **kwargs)
+        self._invalidate()
+
+    def pop(self, *args: Any) -> Any:
+        value = super().pop(*args)
+        self._invalidate()
+        return value
+
+    def clear(self) -> None:
+        super().clear()
+        self._invalidate()
+
+    def setdefault(self, *args: Any) -> Any:
+        value = super().setdefault(*args)
+        self._invalidate()
+        return value
 
 
 class OverlayNetwork:
@@ -171,18 +242,44 @@ class OverlayNetwork:
         self.failures = failures
         self.node_failures = node_failures
         self.service_time = service_time
-        self.link_loss_rates = dict(link_loss_rates or {})
         self.queue_discipline = queue_discipline
         self.stats = LinkStats()
         self.transmissions: list = []
         self._trace = trace
         self._loss_rng = streams.get("loss")
+        self._loss_draw = self._loss_rng.random
+        # Direct calendar-queue access for the per-frame delivery push in
+        # transmit (the hottest call of a run). Equivalent to
+        # sim.schedule_fire minus the call overhead; both aliases stay valid
+        # because the kernel mutates its heap strictly in place.
+        self._sim_heap = sim._heap
+        self._sim_seq = sim._seq
         self._handlers: Dict[int, FrameHandler] = {}
+        # Hot-loop per-direction constants, keyed by the packed direction id
+        # (src << 21 | dst): (propagation delay, effective loss, handler at
+        # dst, canonical edge). Resolved lazily on first use; cleared
+        # whenever handlers or loss rates change.
+        self._dir_cache: Dict[int, tuple] = {}
+        # Current-epoch failed-edge set, refreshed when the clock crosses an
+        # epoch boundary (equivalent to failures.is_failed per frame). Only
+        # valid for the real epoch-granular FailureSchedule — duck-typed
+        # doubles (e.g. scripted sub-epoch windows) take the generic path.
+        self._epoch_failures = failures is not None and type(failures) is FailureSchedule
+        self._failure_epoch_len = failures.epoch if failures is not None else 1.0
+        # End of the epoch window _failed_edges_now is valid for; a float
+        # compare against now replaces an int division per frame.
+        self._failure_window_end = -_INF
+        self._failed_edges_now: frozenset = frozenset()
+        self.link_loss_rates = _LossRateMap(dict(link_loss_rates or {}), self)
+        self._queueing = service_time is not None
+        self._edf = queue_discipline == "edf"
         # Per-direction FIFO occupancy: (src, dst) -> time the link frees up.
         self._busy_until: Dict[tuple, float] = {}
-        # EDF discipline state: per-direction waiting heaps + busy flags.
+        # EDF discipline state: per-direction waiting heaps + busy flags +
+        # aggregate queued size (keeps queueing_backlog O(1)).
         self._edf_queue: Dict[tuple, list] = {}
         self._edf_busy: Dict[tuple, bool] = {}
+        self._edf_queued_size: Dict[tuple, float] = {}
         self._edf_seq = 0
 
     # ------------------------------------------------------------------
@@ -193,10 +290,26 @@ class OverlayNetwork:
         if node not in self.topology.nodes:
             raise SimulationError(f"node {node} is not in the topology")
         self._handlers[node] = handler
+        self._dir_cache.clear()
 
     def detach(self, node: int) -> None:
         """Remove *node*'s handler; frames to it are silently dropped."""
         self._handlers.pop(node, None)
+        self._dir_cache.clear()
+
+    def _resolve_direction(self, src: int, dst: int) -> tuple:
+        """Build and memoise the per-direction hot-loop constants."""
+        if not self.topology.has_edge(src, dst):
+            raise SimulationError(f"no overlay link {src} -> {dst}")
+        cedge = canonical_edge(src, dst)
+        entry = (
+            self.topology.delay(src, dst),
+            self.link_loss_rates.get(cedge, self.loss_rate),
+            self._handlers.get(dst),
+            cedge,
+        )
+        self._dir_cache[(src << 21) | dst] = entry
+        return entry
 
     # ------------------------------------------------------------------
     # Data plane
@@ -216,72 +329,106 @@ class OverlayNetwork:
         outcome only via ACKs; the return value exists for tests and the
         tracing layer).
         """
-        if not self.topology.has_edge(src, dst):
-            raise SimulationError(f"no overlay link {src} -> {dst}")
-        now = self.sim.now
-        size = getattr(frame, "size", 1.0)
-        self.stats.sent[kind] += 1
-        self.stats.volume[kind] += size
+        entry = self._dir_cache.get((src << 21) | dst)
+        if entry is None:
+            entry = self._resolve_direction(src, dst)
+        delay: Optional[float] = entry[0]
+        now = self.sim._now
+        if kind is FrameKind.DATA:
+            # PacketFrame always carries size; tests transmit bare objects.
+            try:
+                size = frame.size
+            except AttributeError:
+                size = 1.0
+        else:
+            size = 1.0  # ACKs/probes are negligibly small (no size field)
+        stats = self.stats
+        stats.sent[kind] += 1
+        stats.volume[kind] += size
         survived = True
-        if self.node_failures is not None and (
-            self.node_failures.is_failed(src, now)
-            or self.node_failures.is_failed(dst, now)
+        node_failures = self.node_failures
+        if node_failures is not None and (
+            node_failures.is_failed(src, now) or node_failures.is_failed(dst, now)
         ):
-            self.stats.lost_node_down[kind] += 1
-            survived = False
-        elif self.failures is not None and self.failures.is_failed(src, dst, now):
-            self.stats.lost_failure[kind] += 1
+            stats.lost_node_down[kind] += 1
             survived = False
         else:
-            effective_loss = self.link_loss_rates.get(
-                canonical_edge(src, dst), self.loss_rate
-            )
-            if (
-                not reliable
-                and effective_loss > 0.0
-                and self._loss_rng.random() < effective_loss
-            ):
-                self.stats.lost_random[kind] += 1
+            failures = self.failures
+            link_down = False
+            if failures is not None:
+                if self._epoch_failures:
+                    # Inlined _link_failed fast path: refresh the cached
+                    # failed-edge set on epoch crossings only.
+                    if now >= self._failure_window_end:
+                        epoch = int(now // self._failure_epoch_len)
+                        self._failure_window_end = (
+                            epoch + 1
+                        ) * self._failure_epoch_len
+                        self._failed_edges_now = failures.failed_edges(epoch)
+                    link_down = entry[3] in self._failed_edges_now
+                else:
+                    link_down = failures.is_failed(src, dst, now)
+            if link_down:
+                stats.lost_failure[kind] += 1
                 survived = False
+            else:
+                effective_loss = entry[1]
+                if (
+                    not reliable
+                    and effective_loss > 0.0
+                    and self._loss_draw() < effective_loss
+                ):
+                    stats.lost_random[kind] += 1
+                    survived = False
         if survived:
-            delay = self.topology.delay(src, dst)
-            if self.service_time is not None and kind is FrameKind.DATA:
-                if self.queue_discipline == "edf":
-                    # Delivery is scheduled by the per-direction server.
+            if self._queueing and kind is FrameKind.DATA:
+                if self._edf:
+                    # Delivery is scheduled by the per-direction EDF server.
                     self._edf_enqueue(src, dst, frame, kind, size)
+                    delay = None
                 else:
                     # FIFO serialisation: wait for the direction to free
                     # up, hold it for a size-scaled service time, propagate.
                     key = (src, dst)
-                    start = max(now, self._busy_until.get(key, 0.0))
+                    start = self._busy_until.get(key, 0.0)
+                    if start < now:
+                        start = now
                     finish = start + self.service_time * size
                     self._busy_until[key] = finish
                     delay = (finish - now) + delay
-                    self.sim.schedule(delay, self._deliver, src, dst, frame, kind)
-            else:
-                self.sim.schedule(delay, self._deliver, src, dst, frame, kind)
+            if delay is not None:
+                # Deliveries are never cancelled: inlined sim.schedule_fire
+                # (link delays are positive by construction, so the
+                # negative-delay guard is statically satisfied).
+                sim = self.sim
+                _heappush(
+                    self._sim_heap,
+                    (
+                        now + delay,
+                        next(self._sim_seq),
+                        self._deliver,
+                        (src, dst, frame, kind),
+                    ),
+                )
+                sim._live += 1
         if self._trace:
-            self.transmissions.append(
-                Transmission(time=now, src=src, dst=dst, kind=kind, survived=survived)
-            )
+            self.transmissions.append(Transmission(now, src, dst, kind, survived))
         return survived
 
     def _deliver(self, src: int, dst: int, frame: Any, kind: FrameKind) -> None:
         # A node that crashed while the frame was in flight cannot receive it.
-        if self.node_failures is not None and self.node_failures.is_failed(
-            dst, self.sim.now
-        ):
+        node_failures = self.node_failures
+        if node_failures is not None and node_failures.is_failed(dst, self.sim._now):
             self.stats.lost_node_down[kind] += 1
             return
-        handler = self._handlers.get(dst)
+        # The cached handler is current: attach/detach clear the cache.
+        entry = self._dir_cache.get((src << 21) | dst)
+        handler = entry[2] if entry is not None else self._handlers.get(dst)
         if handler is None:
             return
         self.stats.delivered[kind] += 1
         handler(src, frame)
 
-    # ------------------------------------------------------------------
-    # Convenience queries used by routing layers
-    # ------------------------------------------------------------------
     # ------------------------------------------------------------------
     # EDF link server (queue_discipline="edf")
     # ------------------------------------------------------------------
@@ -290,11 +437,15 @@ class OverlayNetwork:
     ) -> None:
         key = (src, dst)
         self._edf_seq += 1
-        priority = getattr(frame, "priority", float("inf"))
+        try:
+            priority = frame.priority
+        except AttributeError:
+            priority = _INF
         heapq.heappush(
             self._edf_queue.setdefault(key, []),
             (priority, self._edf_seq, frame, kind, size),
         )
+        self._edf_queued_size[key] = self._edf_queued_size.get(key, 0.0) + size
         if not self._edf_busy.get(key, False):
             self._edf_serve_next(key)
 
@@ -305,39 +456,50 @@ class OverlayNetwork:
             # zero further delay; dropping them frees capacity for frames
             # that still can (the textbook overload policy).
             now = self.sim.now
-            prop = self.topology.delay(*key)
+            entry = self._dir_cache.get((key[0] << 21) | key[1])
+            prop = entry[0] if entry is not None else self.topology.delay(*key)
             while queue and queue[0][0] < now + prop:
-                _, _, _, kind, _ = heapq.heappop(queue)
+                _, _, _, kind, size = heapq.heappop(queue)
                 self.stats.dropped_expired[kind] += 1
+                self._edf_queued_size[key] -= size
+                if self._trace:
+                    self.transmissions.append(
+                        Transmission(now, key[0], key[1], kind, False, expired=True)
+                    )
         if not queue:
             self._edf_busy[key] = False
             return
         self._edf_busy[key] = True
         _, _, frame, kind, size = heapq.heappop(queue)
+        self._edf_queued_size[key] -= size
         assert self.service_time is not None
-        self.sim.schedule(
+        self.sim.schedule_fire(
             self.service_time * size, self._edf_finish, key, frame, kind
         )
 
     def _edf_finish(self, key: tuple, frame: Any, kind: FrameKind) -> None:
         src, dst = key
-        self.sim.schedule(
-            self.topology.delay(src, dst), self._deliver, src, dst, frame, kind
-        )
+        entry = self._dir_cache.get((src << 21) | dst)
+        delay = entry[0] if entry is not None else self.topology.delay(src, dst)
+        self.sim.schedule_fire(delay, self._deliver, src, dst, frame, kind)
         self._edf_serve_next(key)
 
+    # ------------------------------------------------------------------
+    # Convenience queries used by routing layers
+    # ------------------------------------------------------------------
     def queueing_backlog(self, src: int, dst: int) -> float:
         """Seconds until the (src, dst) direction frees up (0 = idle).
 
         For the EDF discipline this is a lower bound: the aggregate
-        service time still queued on the direction.
+        service time still queued on the direction, read from a counter
+        maintained at enqueue/dequeue time (O(1), not a heap scan).
         """
         if self.service_time is None:
             return 0.0
-        if self.queue_discipline == "edf":
-            queued = self._edf_queue.get((src, dst), [])
-            backlog = sum(size for _, _, _, _, size in queued) * self.service_time
-            if self._edf_busy.get((src, dst), False):
+        if self._edf:
+            key = (src, dst)
+            backlog = self._edf_queued_size.get(key, 0.0) * self.service_time
+            if self._edf_busy.get(key, False):
                 backlog += self.service_time  # at most one service remains
             return backlog
         return max(0.0, self._busy_until.get((src, dst), 0.0) - self.sim.now)

@@ -19,7 +19,6 @@ that are identical across DCRD and the baselines:
 
 from __future__ import annotations
 
-import dataclasses
 from collections import deque
 from typing import Deque, Dict, Set
 
@@ -39,6 +38,15 @@ class BrokerRuntime:
         self.node = node
         self.ctx = ctx
         self.strategy = strategy
+        # Hot-path bindings: one attribute hop per received frame instead of
+        # two. ``uses_acks`` is a class-level constant on every strategy.
+        self._network = ctx.network
+        self._workload = ctx.workload
+        self._metrics = ctx.metrics
+        self._sim = ctx.sim
+        self._uses_acks = strategy.uses_acks
+        self._handle_ack = strategy.handle_ack
+        self._handle_data = strategy.handle_data
         self._seen: Set[int] = set()
         self._seen_order: Deque[int] = deque()
         # FEC reassembly: msg_id -> set of distinct fragment indices seen.
@@ -71,56 +79,53 @@ class BrokerRuntime:
     # ------------------------------------------------------------------
     def on_frame(self, sender: int, frame: object) -> None:
         """Network delivery hook for this node."""
-        if isinstance(frame, AckFrame):
-            self.strategy.handle_ack(self.node, sender, frame)
+        kind = frame.__class__
+        if kind is AckFrame:
+            self._handle_ack(self.node, sender, frame)
             return
-        if not isinstance(frame, PacketFrame):
+        if kind is not PacketFrame and not isinstance(frame, PacketFrame):
             raise SimulationError(f"broker {self.node} got unknown frame {frame!r}")
         self.frames_received += 1
-        if self.strategy.uses_acks:
-            ack = AckFrame(
-                msg_id=frame.msg_id,
-                acker=self.node,
-                transfer_id=frame.transfer_id,
-            )
-            self.ctx.network.transmit(self.node, sender, ack, FrameKind.ACK)
-        if self._is_duplicate(sender, frame):
+        node = self.node
+        if self._uses_acks:
+            ack = AckFrame(frame.msg_id, node, frame.transfer_id)
+            self._network.transmit(node, sender, ack, FrameKind.ACK)
+        # Duplicate suppression (inlined: one bounded seen-set probe on the
+        # dedup key, which is the globally unique transfer id).
+        key = frame.transfer_id
+        seen = self._seen
+        if key in seen:
             self.duplicates_suppressed += 1
             return
-        remaining = self._deliver_locally(frame)
-        if not remaining:
+        seen.add(key)
+        order = self._seen_order
+        order.append(key)
+        if len(order) > DEDUP_CAPACITY:
+            seen.discard(order.popleft())
+        # Local delivery (inlined): deliver to a subscriber hosted here,
+        # then forward whatever destinations remain.
+        destinations = frame.destinations
+        if node in destinations:
+            if self._workload_version != self._workload.version:
+                self._refresh_local_topics()
+            if frame.topic in self._local_topics and (
+                frame.fragments_needed <= 0 or self._decodable(frame)
+            ):
+                first = self._metrics.record_delivery(
+                    frame.msg_id,
+                    node,
+                    self._sim._now,
+                    hops=len(frame.routing_path),
+                )
+                if first:
+                    self.local_deliveries += 1
+            destinations = destinations - {node}
+            if not destinations:
+                return
+            frame = frame.with_destinations(destinations)
+        elif not destinations:
             return
-        if remaining != frame.destinations:
-            frame = dataclasses.replace(frame, destinations=remaining)
-        self.strategy.handle_data(self.node, sender, frame)
-
-    # ------------------------------------------------------------------
-    def _is_duplicate(self, sender: int, frame: PacketFrame) -> bool:
-        key = frame.dedup_key()
-        if key in self._seen:
-            return True
-        self._seen.add(key)
-        self._seen_order.append(key)
-        if len(self._seen_order) > DEDUP_CAPACITY:
-            self._seen.discard(self._seen_order.popleft())
-        return False
-
-    def _deliver_locally(self, frame: PacketFrame) -> frozenset:
-        """Deliver to a subscriber on this broker; return remaining dests."""
-        if self.node not in frame.destinations:
-            return frame.destinations
-        if self._workload_version != self.ctx.workload.version:
-            self._refresh_local_topics()
-        if frame.topic in self._local_topics and self._decodable(frame):
-            first = self.ctx.metrics.record_delivery(
-                frame.msg_id,
-                self.node,
-                self.ctx.sim.now,
-                hops=len(frame.routing_path),
-            )
-            if first:
-                self.local_deliveries += 1
-        return frame.destinations - {self.node}
+        self._handle_data(node, sender, frame)
 
     def _decodable(self, frame: PacketFrame) -> bool:
         """Whether the message is complete once *frame* has arrived."""

@@ -14,17 +14,29 @@ it confirms even when several copies of one message are in flight between
 the same pair of brokers, and (b) receivers can suppress byte-identical
 duplicates caused by lost ACKs.
 
-Frames are immutable; every hop builds new copies via :meth:`PacketFrame.forwarded`.
+Frames are immutable; every hop builds new copies via
+:meth:`PacketFrame.forwarded`. Frame construction sits on the data-plane
+hot path (one copy per hop per message, plus retransmissions), so both
+frame types are hand-written ``__slots__`` classes rather than frozen
+dataclasses: a plain ``__init__`` skips the frozen-dataclass
+``object.__setattr__`` indirection per field. Each frame also carries
+``path_set``, a :class:`frozenset` view of ``routing_path`` maintained by
+the constructors, so loop-avoidance membership tests (`candidate in
+path_set`) are O(1) instead of scanning the tuple.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 _message_counter = itertools.count(1)
 _transfer_counter = itertools.count(1)
+
+_INF = float("inf")
+# Bare allocation for the copy fast paths (forwarded/with_destinations),
+# which write every slot themselves instead of round-tripping __init__.
+_new_frame = object.__new__
 
 
 def next_message_id() -> int:
@@ -44,7 +56,6 @@ def reset_message_ids() -> None:
     _transfer_counter = itertools.count(1)
 
 
-@dataclass(frozen=True)
 class PacketFrame:
     """One copy of a published message in flight between two brokers.
 
@@ -65,6 +76,9 @@ class PacketFrame:
     routing_path:
         Ordered brokers that have *sent* this copy (each sender appends
         itself before transmitting — Algorithm 2, line 20).
+    path_set:
+        Frozenset view of ``routing_path`` for O(1) membership tests;
+        derived, never passed by callers.
     source_route:
         Remaining explicit hops, used by the source-routed baselines
         (Multipath, FEC); their paths are fixed at publish time. Empty for
@@ -85,20 +99,56 @@ class PacketFrame:
         virtual time of the copy's earliest destination deadline (lower =
         more urgent). ``inf`` (the default) means "no deadline known";
         FIFO links ignore this field entirely.
+
+    Instances are immutable by convention: every mutation-shaped operation
+    (:meth:`forwarded`, :meth:`with_destinations`) returns a new frame.
     """
 
-    msg_id: int
-    transfer_id: int
-    topic: int
-    origin: int
-    publish_time: float
-    destinations: FrozenSet[int]
-    routing_path: Tuple[int, ...]
-    source_route: Tuple[int, ...] = ()
-    fragment_index: int = -1
-    fragments_needed: int = 0
-    size: float = 1.0
-    priority: float = float("inf")
+    __slots__ = (
+        "msg_id",
+        "transfer_id",
+        "topic",
+        "origin",
+        "publish_time",
+        "destinations",
+        "routing_path",
+        "path_set",
+        "source_route",
+        "fragment_index",
+        "fragments_needed",
+        "size",
+        "priority",
+    )
+
+    def __init__(
+        self,
+        msg_id: int,
+        transfer_id: int,
+        topic: int,
+        origin: int,
+        publish_time: float,
+        destinations: FrozenSet[int],
+        routing_path: Tuple[int, ...],
+        source_route: Tuple[int, ...] = (),
+        fragment_index: int = -1,
+        fragments_needed: int = 0,
+        size: float = 1.0,
+        priority: float = _INF,
+        _path_set: Optional[FrozenSet[int]] = None,
+    ) -> None:
+        self.msg_id = msg_id
+        self.transfer_id = transfer_id
+        self.topic = topic
+        self.origin = origin
+        self.publish_time = publish_time
+        self.destinations = destinations
+        self.routing_path = routing_path
+        self.path_set = frozenset(routing_path) if _path_set is None else _path_set
+        self.source_route = source_route
+        self.fragment_index = fragment_index
+        self.fragments_needed = fragments_needed
+        self.size = size
+        self.priority = priority
 
     @staticmethod
     def fresh(
@@ -112,22 +162,22 @@ class PacketFrame:
         fragment_index: int = -1,
         fragments_needed: int = 0,
         size: float = 1.0,
-        priority: float = float("inf"),
+        priority: float = _INF,
     ) -> "PacketFrame":
         """Create a brand-new copy with its own transfer id."""
         return PacketFrame(
-            msg_id=msg_id,
-            transfer_id=next_transfer_id(),
-            topic=topic,
-            origin=origin,
-            publish_time=publish_time,
-            destinations=destinations,
-            routing_path=routing_path,
-            source_route=source_route,
-            fragment_index=fragment_index,
-            fragments_needed=fragments_needed,
-            size=size,
-            priority=priority,
+            msg_id,
+            next_transfer_id(),
+            topic,
+            origin,
+            publish_time,
+            destinations,
+            routing_path,
+            source_route,
+            fragment_index,
+            fragments_needed,
+            size,
+            priority,
         )
 
     def forwarded(
@@ -141,25 +191,52 @@ class PacketFrame:
 
         ``priority`` overrides the inherited urgency (used when a copy's
         destination subset has a different earliest deadline than its
-        parent frame).
+        parent frame). ``path_set`` is extended incrementally rather than
+        rebuilt from the tuple. Slots are written directly (no ``__init__``
+        marshalling) — this runs once per forwarded copy.
         """
-        return PacketFrame.fresh(
-            msg_id=self.msg_id,
-            topic=self.topic,
-            origin=self.origin,
-            publish_time=self.publish_time,
-            destinations=destinations,
-            routing_path=self.routing_path + (sender,),
-            source_route=source_route,
-            fragment_index=self.fragment_index,
-            fragments_needed=self.fragments_needed,
-            size=self.size,
-            priority=self.priority if priority is None else priority,
-        )
+        copy = _new_frame(PacketFrame)
+        copy.msg_id = self.msg_id
+        copy.transfer_id = next_transfer_id()
+        copy.topic = self.topic
+        copy.origin = self.origin
+        copy.publish_time = self.publish_time
+        copy.destinations = destinations
+        copy.routing_path = self.routing_path + (sender,)
+        copy.path_set = self.path_set.union((sender,))
+        copy.source_route = source_route
+        copy.fragment_index = self.fragment_index
+        copy.fragments_needed = self.fragments_needed
+        copy.size = self.size
+        copy.priority = self.priority if priority is None else priority
+        return copy
+
+    def with_destinations(self, destinations: FrozenSet[int]) -> "PacketFrame":
+        """The same copy (same ``transfer_id``) narrowed to *destinations*.
+
+        Used by the broker when it strips itself from a received copy's
+        destination set; everything else — including the transfer id, so
+        ACK matching and dedup still work — is preserved.
+        """
+        copy = _new_frame(PacketFrame)
+        copy.msg_id = self.msg_id
+        copy.transfer_id = self.transfer_id
+        copy.topic = self.topic
+        copy.origin = self.origin
+        copy.publish_time = self.publish_time
+        copy.destinations = destinations
+        copy.routing_path = self.routing_path
+        copy.path_set = self.path_set
+        copy.source_route = self.source_route
+        copy.fragment_index = self.fragment_index
+        copy.fragments_needed = self.fragments_needed
+        copy.size = self.size
+        copy.priority = self.priority
+        return copy
 
     def visited(self, node: int) -> bool:
         """Whether *node* already appears on the routing path."""
-        return node in self.routing_path
+        return node in self.path_set
 
     def upstream_of(self, node: int) -> int:
         """The broker *node* originally received this copy from.
@@ -170,18 +247,53 @@ class PacketFrame:
         when no upstream exists (*node* is the origin).
         """
         path = self.routing_path
-        try:
-            index = path.index(node)
-        except ValueError:
+        if node not in self.path_set:
+            # Common case (the receiver is not on the path yet): O(1) probe
+            # instead of a raised-and-caught ValueError from tuple.index.
             return path[-1] if path else -1
+        index = path.index(node)
         return path[index - 1] if index > 0 else -1
 
     def dedup_key(self) -> int:
         """Key identifying byte-identical retransmitted copies."""
         return self.transfer_id
 
+    def _key(self) -> tuple:
+        return (
+            self.msg_id,
+            self.transfer_id,
+            self.topic,
+            self.origin,
+            self.publish_time,
+            self.destinations,
+            self.routing_path,
+            self.source_route,
+            self.fragment_index,
+            self.fragments_needed,
+            self.size,
+            self.priority,
+        )
 
-@dataclass(frozen=True)
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not PacketFrame:
+            return NotImplemented
+        return self._key() == other._key()  # type: ignore[union-attr]
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PacketFrame(msg_id={self.msg_id}, transfer_id={self.transfer_id}, "
+            f"topic={self.topic}, origin={self.origin}, "
+            f"publish_time={self.publish_time}, destinations={set(self.destinations)}, "
+            f"routing_path={self.routing_path}, source_route={self.source_route}, "
+            f"fragment_index={self.fragment_index}, "
+            f"fragments_needed={self.fragments_needed}, size={self.size}, "
+            f"priority={self.priority})"
+        )
+
+
 class AckFrame:
     """Hop-by-hop acknowledgement of one :class:`PacketFrame` copy.
 
@@ -190,6 +302,27 @@ class AckFrame:
     releases it on the matching ACK).
     """
 
-    msg_id: int
-    acker: int
-    transfer_id: int
+    __slots__ = ("msg_id", "acker", "transfer_id")
+
+    def __init__(self, msg_id: int, acker: int, transfer_id: int) -> None:
+        self.msg_id = msg_id
+        self.acker = acker
+        self.transfer_id = transfer_id
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not AckFrame:
+            return NotImplemented
+        return (
+            self.msg_id == other.msg_id
+            and self.acker == other.acker
+            and self.transfer_id == other.transfer_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.msg_id, self.acker, self.transfer_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AckFrame(msg_id={self.msg_id}, acker={self.acker}, "
+            f"transfer_id={self.transfer_id})"
+        )

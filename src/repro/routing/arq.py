@@ -15,17 +15,26 @@ The *timeout policy* is pluggable: the paper's static
 RTT-tracking policy (see :mod:`repro.extensions.adaptive`). Policies
 receive Karn-filtered RTT samples (first-attempt ACKs only, so a sample is
 never ambiguous between a transmission and its retransmission).
+
+This module sits on the data-plane hot path — every copy sent schedules an
+ACK-timeout event, and in healthy networks nearly every one is cancelled by
+the ACK a propagation round-trip later. Each outstanding copy therefore
+holds the raw kernel :class:`~repro.sim.engine.Event` (no
+:class:`~repro.sim.process.Timer` indirection), the static timeout policy
+memoises its per-direction answer until the link monitor publishes new
+estimates, and :attr:`ArqSender.timers_cancelled` counts the cancellations
+feeding the kernel's tombstone compaction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Protocol
+from heapq import heappush as _heappush
+from typing import Callable, Dict, Optional, Protocol, Tuple
 
 from repro.overlay.links import FrameKind
 from repro.pubsub.messages import AckFrame, PacketFrame
 from repro.routing.base import RuntimeContext
-from repro.sim.process import Timer
+from repro.sim.engine import Event
 
 
 class TimeoutPolicy(Protocol):
@@ -41,32 +50,57 @@ class TimeoutPolicy(Protocol):
 
 
 class MonitorTimeoutPolicy:
-    """The paper's static timer: ``ack_timeout_factor * alpha`` (+slack)."""
+    """The paper's static timer: ``ack_timeout_factor * alpha`` (+slack).
+
+    The timeout is a pure function of the monitor's current alpha estimate,
+    which only changes when a monitor refresh publishes new values; answers
+    are cached per direction and invalidated via ``monitor.version``.
+    """
 
     def __init__(self, ctx: RuntimeContext) -> None:
         self.ctx = ctx
+        self._cache: Dict[Tuple[int, int], float] = {}
+        self._cache_version = -1
 
     def timeout(self, src: int, dst: int) -> float:
         """Static timeout from the monitor's propagation-delay estimate."""
-        alpha = self.ctx.monitor.estimate(src, dst).alpha
-        return self.ctx.params.ack_timeout(alpha)
+        monitor = self.ctx.monitor
+        if monitor.version != self._cache_version:
+            self._cache.clear()
+            self._cache_version = monitor.version
+        key = (src, dst)
+        value = self._cache.get(key)
+        if value is None:
+            alpha = monitor.estimate(src, dst).alpha
+            value = self.ctx.params.ack_timeout(alpha)
+            self._cache[key] = value
+        return value
 
     def on_sample(self, src: int, dst: int, rtt: float) -> None:
         """Static policy: samples are ignored."""
 
 
-@dataclass
 class _Outstanding:
     """One unacknowledged frame copy and its retry state."""
 
-    src: int
-    dst: int
-    frame: PacketFrame
-    attempts: int
-    timer: Timer
-    on_acked: Callable[[PacketFrame], None]
-    on_failed: Callable[[PacketFrame], None]
-    sent_at: float = 0.0
+    __slots__ = ("src", "dst", "frame", "attempts", "event", "on_acked", "on_failed", "sent_at")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        frame: PacketFrame,
+        on_acked: Callable[[PacketFrame], None],
+        on_failed: Callable[[PacketFrame], None],
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.frame = frame
+        self.attempts = 0
+        self.event: Optional[Event] = None
+        self.on_acked = on_acked
+        self.on_failed = on_failed
+        self.sent_at = 0.0
 
 
 class ArqSender:
@@ -79,10 +113,31 @@ class ArqSender:
         self.timeout_policy: TimeoutPolicy = (
             timeout_policy if timeout_policy is not None else MonitorTimeoutPolicy(ctx)
         )
+        # Hot-path bindings (one attribute hop instead of two per send/ACK).
+        # The policy and the retry budget are fixed at construction.
+        self._sim = ctx.sim
+        self._network = ctx.network
+        self._timeout = self.timeout_policy.timeout
+        self._m = ctx.params.m
+        # Karn-filtered RTT samples cost a clock read per ACK; skip the whole
+        # feed when the policy's on_sample is the static policy's no-op.
+        self._rtt_sampling = (
+            type(self.timeout_policy).on_sample is not MonitorTimeoutPolicy.on_sample
+        )
+        # Direct calendar-queue access for the per-copy timeout push —
+        # inlined sim.schedule minus the call overhead (timeouts are always
+        # positive). Both aliases stay valid: the kernel mutates its heap
+        # strictly in place.
+        self._sim_heap = ctx.sim._heap
+        self._sim_seq = ctx.sim._seq
+        self._on_event_cancelled = ctx.sim._on_event_cancelled
         self._outstanding: Dict[int, _Outstanding] = {}
         self.acked = 0
         self.failed = 0
         self.retransmissions = 0
+        #: ACK-timeout events cancelled because the ACK arrived first (each
+        #: one leaves a tombstone for the kernel's heap compaction to reap).
+        self.timers_cancelled = 0
 
     @property
     def in_flight(self) -> int:
@@ -103,15 +158,7 @@ class ArqSender:
         when the neighbour confirms reception, ``on_failed(frame)`` after
         ``m`` transmissions went unacknowledged.
         """
-        entry = _Outstanding(
-            src=src,
-            dst=dst,
-            frame=frame,
-            attempts=0,
-            timer=Timer(self.ctx.sim, self._on_timeout),
-            on_acked=on_acked,
-            on_failed=on_failed,
-        )
+        entry = _Outstanding(src, dst, frame, on_acked, on_failed)
         self._outstanding[frame.transfer_id] = entry
         self._transmit(entry)
 
@@ -121,12 +168,15 @@ class ArqSender:
         if entry is None or entry.src != node or entry.dst != sender:
             return
         del self._outstanding[ack.transfer_id]
-        entry.timer.cancel()
+        event = entry.event
+        if event is not None:
+            event.cancel()
+            self.timers_cancelled += 1
         self.acked += 1
-        if entry.attempts == 1:
+        if self._rtt_sampling and entry.attempts == 1:
             # Karn's rule: only first-attempt ACKs give unambiguous RTTs.
             self.timeout_policy.on_sample(
-                entry.src, entry.dst, self.ctx.sim.now - entry.sent_at
+                entry.src, entry.dst, self._sim._now - entry.sent_at
             )
         entry.on_acked(entry.frame)
 
@@ -135,14 +185,24 @@ class ArqSender:
         entry.attempts += 1
         if entry.attempts > 1:
             self.retransmissions += 1
-        entry.sent_at = self.ctx.sim.now
-        self.ctx.network.transmit(entry.src, entry.dst, entry.frame, FrameKind.DATA)
-        entry.timer.start(self.timeout_policy.timeout(entry.src, entry.dst), entry)
+        sim = self._sim
+        if self._rtt_sampling:
+            entry.sent_at = sim._now
+        src = entry.src
+        dst = entry.dst
+        self._network.transmit(src, dst, entry.frame, FrameKind.DATA)
+        time = sim._now + self._timeout(src, dst)
+        seq = next(self._sim_seq)
+        entry.event = event = Event(
+            time, seq, self._on_timeout, (entry,), self._on_event_cancelled
+        )
+        _heappush(self._sim_heap, (time, seq, event))
+        sim._live += 1
 
     def _on_timeout(self, entry: _Outstanding) -> None:
         if entry.frame.transfer_id not in self._outstanding:
             return
-        if entry.attempts < self.ctx.params.m:
+        if entry.attempts < self._m:
             self._transmit(entry)
             return
         del self._outstanding[entry.frame.transfer_id]

@@ -92,6 +92,10 @@ class RoutingStrategy(abc.ABC):
 
     def __init__(self, ctx: RuntimeContext) -> None:
         self.ctx = ctx
+        #: DATA frame copies this strategy handed to the link layer for
+        #: forwarding (retransmissions excluded); surfaced by the perf
+        #: snapshot as ``data_plane.frames_forwarded``.
+        self.frames_forwarded = 0
 
     # ------------------------------------------------------------------
     # Lifecycle hooks

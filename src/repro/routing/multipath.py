@@ -105,6 +105,7 @@ class MultipathStrategy(RoutingStrategy):
         copy = frame.forwarded(
             node, frame.destinations, source_route=frame.source_route[1:]
         )
+        self.frames_forwarded += 1
         self.arq.send(node, hop, copy, self._on_acked, self._on_failed)
 
     def _on_acked(self, copy: PacketFrame) -> None:

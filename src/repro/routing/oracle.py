@@ -157,6 +157,7 @@ class OracleStrategy(RoutingStrategy):
             path = routes[subscriber]
             position = path.index(node)
             groups.setdefault(path[position + 1], set()).add(subscriber)
+        self.frames_forwarded += len(groups)
         for hop, dests in groups.items():
             copy = frame.forwarded(node, frozenset(dests))
             self.ctx.network.transmit(

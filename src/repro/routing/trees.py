@@ -123,6 +123,7 @@ class TreeStrategy(RoutingStrategy):
                 self._abandon(frame.msg_id, frozenset({subscriber}))
                 continue
             groups.setdefault(hop, set()).add(subscriber)
+        self.frames_forwarded += len(groups)
         for hop, dests in groups.items():
             subset = frozenset(dests)
             copy = frame.forwarded(

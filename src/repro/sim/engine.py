@@ -8,15 +8,39 @@ surfaces, which keeps both operations O(log n).
 
 The engine is single-threaded and deterministic: two runs with the same
 schedule of callbacks and the same random seeds produce identical traces.
+
+Fast path
+---------
+
+The heap stores C-comparable ``(time, seq, event)`` tuples rather than the
+:class:`Event` objects themselves, so every sift comparison during
+``heappush``/``heappop`` is resolved by the tuple's float/int prefix in C —
+``Event.__lt__`` is never called on the hot path. ``seq`` is unique per
+event, so a comparison never reaches the third element.
+
+Lazy cancellation is supplemented by *tombstone compaction*: when the
+cancelled entries exceed a configurable fraction of the heap
+(:attr:`Simulator.compaction_ratio`), the heap is rebuilt in place without
+them. Compaction removes only entries that could never fire, and the heap
+order is a pure function of the live ``(time, seq)`` keys, so the pop
+sequence — and therefore the whole run — is bit-identical with compaction
+on or off (set ``compaction_ratio`` to ``None`` for the legacy
+lazy-deletion-only behaviour). :attr:`heap_compactions` and
+:attr:`tombstones_reaped` expose the activity to the perf layer.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.util.errors import SimulationError
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_INF = float("inf")
 
 
 class Event:
@@ -92,9 +116,21 @@ class Simulator:
     1.5
     """
 
+    #: Tombstone fraction of the heap that triggers compaction. ``None``
+    #: restores the legacy kernel behaviour (lazy deletion only, cancelled
+    #: events pinned until their deadline surfaces). Class attribute so
+    #: tests can flip the whole process into legacy mode.
+    compaction_ratio: Optional[float] = 0.5
+    #: Minimum number of tombstones before compaction is considered
+    #: (amortises the O(n) rebuild away from tiny heaps).
+    compaction_min: int = 64
+
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: List[Event] = []
+        # C-comparable heap entries; ``seq`` is unique, so comparisons never
+        # reach the payload. Entries are either ``(time, seq, Event)`` or —
+        # for fire-and-forget schedules — ``(time, seq, callback, args)``.
+        self._heap: List[tuple] = []
         self._seq = itertools.count()
         self._running = False
         self._processed = 0
@@ -102,9 +138,39 @@ class Simulator:
         # Maintained incrementally so ``pending_events`` is O(1) even with
         # lazy cancellation leaving tombstones in the heap.
         self._live = 0
+        # Cancelled entries still sitting in the heap.
+        self._tombstones = 0
+        #: Number of tombstone-compaction passes performed.
+        self.heap_compactions = 0
+        #: Cancelled entries removed by compaction (instead of surfacing).
+        self.tombstones_reaped = 0
 
     def _on_event_cancelled(self) -> None:
         self._live -= 1
+        self._tombstones = tombstones = self._tombstones + 1
+        ratio = self.compaction_ratio
+        if (
+            ratio is not None
+            and tombstones >= self.compaction_min
+            and tombstones >= ratio * len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (in place).
+
+        Only dead entries are removed and the heap invariant is restored
+        over the unchanged live ``(time, seq)`` keys, so the subsequent pop
+        order is identical to what lazy deletion would have produced.
+        """
+        heap = self._heap
+        before = len(heap)
+        # Fire-and-forget entries (len 4) have no cancel handle: always live.
+        heap[:] = [entry for entry in heap if len(entry) == 4 or not entry[2].cancelled]
+        heapq.heapify(heap)
+        self.heap_compactions += 1
+        self.tombstones_reaped += before - len(heap)
+        self._tombstones = 0
 
     @property
     def now(self) -> float:
@@ -132,16 +198,29 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        event = Event(
-            self._now + delay,
-            next(self._seq),
-            callback,
-            args,
-            on_cancel=self._on_event_cancelled,
-        )
-        heapq.heappush(self._heap, event)
+        time = self._now + delay
+        seq = next(self._seq)
+        event = Event(time, seq, callback, args, self._on_event_cancelled)
+        _heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
+
+    def schedule_fire(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellation handle.
+
+        Identical ordering semantics (consumes one ``seq``, fires at
+        ``now + delay`` in FIFO tie order) but pushes a bare
+        ``(time, seq, callback, args)`` entry — no :class:`Event` object is
+        allocated. Meant for the data-plane hot path (frame deliveries),
+        where events are never cancelled individually; :meth:`clear` still
+        discards them.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        _heappush(self._heap, (self._now + delay, next(self._seq), callback, args))
+        self._live += 1
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -151,10 +230,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(
-            time, next(self._seq), callback, args, on_cancel=self._on_event_cancelled
-        )
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(time, seq, callback, args, on_cancel=self._on_event_cancelled)
+        heapq.heappush(self._heap, (time, seq, event))
         self._live += 1
         return event
 
@@ -176,29 +254,53 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        limit = _INF if until is None else until
+        quota = _INF if max_events is None else max_events
+        # Compaction rebuilds the heap *in place*, so this alias stays valid
+        # even when a callback's cancel() triggers a compaction mid-loop.
+        heap = self._heap
+        heappop = heapq.heappop
+        # The event loop allocates heavily (frames, heap entries) but creates
+        # few cycles; pausing the cyclic collector avoids gen-0 scans every
+        # ~700 allocations. Refcounting still frees the bulk immediately, and
+        # re-enabling afterwards lets the collector reclaim any cycles on its
+        # own schedule, outside the hot loop.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
+            while heap:
+                entry = heap[0]
+                if len(entry) == 3:
+                    event = entry[2]
+                    if event.cancelled:
+                        heappop(heap)
+                        self._tombstones -= 1
+                        continue
+                else:
+                    event = None
+                if entry[0] > limit:
                     break
-                if max_events is not None and executed >= max_events:
+                if executed >= quota:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway schedule?"
                     )
-                heapq.heappop(self._heap)
+                heappop(heap)
                 self._live -= 1
-                event.fired = True
-                self._now = event.time
-                event.callback(*event.args)
-                self._processed += 1
+                self._now = entry[0]
+                if event is not None:
+                    event.fired = True
+                    event.callback(*event.args)
+                else:
+                    entry[2](*entry[3])
                 executed += 1
             if until is not None and self._now < until:
                 self._now = until
         finally:
+            self._processed += executed
             self._running = False
+            if gc_was_enabled:
+                gc.enable()
 
     def step(self) -> bool:
         """Execute the single next pending event.
@@ -206,21 +308,32 @@ class Simulator:
         Returns ``True`` if an event ran, ``False`` if the queue was empty.
         Useful in tests that need fine-grained control.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self._live -= 1
-            event.fired = True
-            self._now = event.time
-            event.callback(*event.args)
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if len(entry) == 3:
+                event = entry[2]
+                if event.cancelled:
+                    self._tombstones -= 1
+                    continue
+                self._live -= 1
+                event.fired = True
+                self._now = entry[0]
+                event.callback(*event.args)
+            else:
+                self._live -= 1
+                self._now = entry[0]
+                entry[2](*entry[3])
             self._processed += 1
             return True
         return False
 
     def clear(self) -> None:
         """Drop all pending events without running them (keeps the clock)."""
-        for event in self._heap:
+        for entry in self._heap:
+            if len(entry) != 3:
+                continue  # fire-and-forget entries have no handle to neuter
+            event = entry[2]
             # Mark dropped events cancelled so late cancel() calls on their
             # handles stay no-ops (and don't corrupt the live counter).
             event.cancelled = True
@@ -229,3 +342,4 @@ class Simulator:
             event._on_cancel = None
         self._heap.clear()
         self._live = 0
+        self._tombstones = 0

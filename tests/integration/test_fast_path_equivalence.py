@@ -1,0 +1,141 @@
+"""Bit-identical equivalence pins for the data-plane fast path.
+
+The fast path (tuple-keyed kernel heap with tombstone compaction,
+``schedule_fire`` deliveries, frame fast copies, hot-loop caches in the
+overlay/broker/ARQ/forwarding layers) is a pure performance change: every
+run must produce *exactly* the trace the pre-change code produced — same
+event interleaving, same RNG draw order, same per-message outcomes.
+
+``data/fast_path_reference.json`` holds per-run fingerprints recorded at
+the commit immediately before the fast path landed: summary counters,
+``processed_events`` (a proxy for the exact event schedule), and an MD5
+digest over every ``(msg_id, subscriber, delivery_time, gave_up)`` outcome
+row. These cells cover both strategy families (DCRD reroute/give-up logic
+and tree forwarding) and both link disciplines (FIFO and EDF with expired
+drops), across two seeds each.
+
+A second test pins fast-vs-legacy kernel equivalence *within* the current
+code: compaction merely reaps entries that could never fire, so disabling
+it (``compaction_ratio = None``) must not change a single outcome.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_environment
+from repro.sim.engine import Simulator
+
+REFERENCE = json.loads(
+    (Path(__file__).parent / "data" / "fast_path_reference.json").read_text()
+)
+
+CONFIGS = {
+    "baseline": dict(
+        topology_kind="regular",
+        degree=5,
+        num_nodes=20,
+        num_topics=6,
+        failure_probability=0.06,
+        duration=15.0,
+        drain=5.0,
+    ),
+    "edf_storm": dict(
+        topology_kind="regular",
+        degree=5,
+        num_nodes=20,
+        num_topics=6,
+        failure_probability=0.03,
+        duration=2.0,
+        drain=2.0,
+        link_service_time=0.02,
+        queue_discipline="edf",
+        edf_drop_expired=True,
+        deadline_factor_choices=(4.0, 16.0),
+    ),
+    "edf_load": dict(
+        topology_kind="regular",
+        degree=5,
+        num_nodes=20,
+        num_topics=6,
+        failure_probability=0.03,
+        duration=15.0,
+        drain=5.0,
+        publish_interval=0.0625,
+        link_service_time=0.05,
+        queue_discipline="edf",
+        edf_drop_expired=True,
+        deadline_factor_choices=(4.0, 16.0),
+    ),
+}
+
+CELLS = [
+    ("baseline", "DCRD"),
+    ("baseline", "D-Tree"),
+    ("edf_storm", "DCRD"),
+    ("edf_load", "P-DTree"),
+]
+
+
+def _run(config_name: str, strategy: str, seed: int):
+    """Execute one cell; returns the environment (post-run) and its summary."""
+    env = build_environment(ExperimentConfig(**CONFIGS[config_name]), strategy, seed)
+    return env, env.execute()
+
+
+def _digest(env, summary) -> dict:
+    """Compress one executed cell's full trace into comparable scalars."""
+    outcomes = sorted(
+        (o.msg_id, o.subscriber, repr(o.delivery_time), o.gave_up)
+        for o in env.ctx.metrics.outcomes()
+    )
+    digest = hashlib.md5(
+        "|".join(",".join(map(str, row)) for row in outcomes).encode()
+    ).hexdigest()
+    return dict(
+        delivered=summary.delivered,
+        on_time=summary.on_time,
+        duplicates=summary.duplicates,
+        data_transmissions=summary.data_transmissions,
+        give_ups=sum(1 for o in env.ctx.metrics.outcomes() if o.gave_up),
+        dropped_expired=sum(env.ctx.network.stats.dropped_expired.values()),
+        processed_events=env.ctx.sim.processed_events,
+        outcome_digest=digest,
+    )
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+@pytest.mark.parametrize("config_name,strategy", CELLS)
+def test_matches_pre_fast_path_reference(config_name, strategy, seed):
+    """Every cell reproduces the recorded pre-change trace exactly."""
+    got = _digest(*_run(config_name, strategy, seed))
+    want = REFERENCE[f"{config_name}/{strategy}/seed{seed}"]
+    assert got == want
+
+
+def test_fast_and_legacy_kernels_trace_identically(monkeypatch):
+    """Compaction forced on every cancel vs disabled: bit-identical runs.
+
+    The default thresholds rarely trip on a 20-node world, so the "fast"
+    side drops them to the floor — every cancelled ACK timer triggers a
+    heap rebuild — while the "legacy" side (``compaction_ratio = None``)
+    falls back to pure lazy deletion. Both must pop the same live events
+    in the same order, and both must match the pre-change reference.
+    (The baseline cell is the one whose ACKs actually land; the EDF storm
+    loses every ACK, so it cancels no timers at all.)
+    """
+    monkeypatch.setattr(Simulator, "compaction_ratio", 0.01)
+    monkeypatch.setattr(Simulator, "compaction_min", 1)
+    env, summary = _run("baseline", "DCRD", 1)
+    assert env.ctx.sim.heap_compactions > 0
+    aggressive = _digest(env, summary)
+    assert aggressive == REFERENCE["baseline/DCRD/seed1"]
+
+    monkeypatch.setattr(Simulator, "compaction_ratio", None)
+    monkeypatch.setattr(Simulator, "compaction_min", 64)
+    env, summary = _run("baseline", "DCRD", 1)
+    assert env.ctx.sim.heap_compactions == 0
+    assert _digest(env, summary) == aggressive

@@ -131,6 +131,61 @@ class TestPriorityAndSize:
         assert copy.fragments_needed == 2
 
 
+class TestPathSetSync:
+    """``path_set`` must stay a frozenset view of ``routing_path``.
+
+    The copy fast paths write slots directly and extend ``path_set``
+    incrementally, so these pin the derived-field invariant through every
+    constructor.
+    """
+
+    def test_fresh_derives_path_set(self):
+        frame = make_frame(routing_path=(0, 5, 2))
+        assert frame.path_set == frozenset(frame.routing_path)
+        assert isinstance(frame.path_set, frozenset)
+
+    def test_forwarded_keeps_path_set_in_sync(self):
+        frame = make_frame(routing_path=(0,))
+        copy = frame.forwarded(5, frame.destinations)
+        assert copy.routing_path == (0, 5)
+        assert copy.path_set == frozenset(copy.routing_path)
+        assert isinstance(copy.path_set, frozenset)
+
+    def test_forwarded_chain_keeps_path_set_in_sync(self):
+        frame = make_frame()
+        for hop in (0, 7, 3, 7):  # a repeated sender must not diverge
+            frame = frame.forwarded(hop, frame.destinations)
+        assert frame.routing_path == (0, 7, 3, 7)
+        assert frame.path_set == frozenset({0, 7, 3})
+
+    def test_forwarded_does_not_mutate_parent(self):
+        frame = make_frame(routing_path=(0,))
+        frame.forwarded(5, frame.destinations)
+        assert frame.routing_path == (0,)
+        assert frame.path_set == frozenset({0})
+
+    def test_with_destinations_preserves_path_set(self):
+        frame = make_frame(routing_path=(0, 5))
+        copy = frame.with_destinations(frozenset({4}))
+        assert copy.routing_path == frame.routing_path
+        assert copy.path_set == frame.path_set
+        assert copy.transfer_id == frame.transfer_id
+
+    def test_explicit_path_set_override_used_verbatim(self):
+        explicit = frozenset({0, 5})
+        frame = PacketFrame(
+            msg_id=1,
+            transfer_id=9,
+            topic=0,
+            origin=0,
+            publish_time=0.0,
+            destinations=frozenset({4}),
+            routing_path=(0, 5),
+            _path_set=explicit,
+        )
+        assert frame.path_set is explicit
+
+
 class TestAckFrame:
     def test_fields(self):
         ack = AckFrame(msg_id=7, acker=3, transfer_id=99)
