@@ -55,6 +55,7 @@ from repro.routing.base import ProtocolParams, RoutingStrategy, RuntimeContext
 from repro.routing.multipath import MultipathStrategy
 from repro.routing.oracle import OracleStrategy
 from repro.routing.trees import DTreeStrategy, RTreeStrategy
+from repro.sanity import InvariantViolation, Sanitizer
 from repro.sim.engine import Simulator
 from repro.sim.random import RandomStreams
 

@@ -66,6 +66,12 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--strategies", nargs="*", default=list(DEFAULT_STRATEGIES)
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the SimSanitizer (repro.sanity): live invariant "
+        "checks + end-of-drain conservation accounting (slower)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
@@ -79,6 +85,7 @@ def _config_from(args: argparse.Namespace) -> ExperimentConfig:
         deadline_factor=args.deadline_factor,
         m=args.m,
         duration=args.duration,
+        sanitize=args.sanitize,
     )
 
 

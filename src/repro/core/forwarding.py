@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
+from repro import sanity as _sanity
 from repro.core.computation import ControlPlaneSolver, DrTable, compute_dr_table
 from repro.perf import PerfStats
 from repro.pubsub.messages import AckFrame, PacketFrame
@@ -240,6 +241,11 @@ class DcrdStrategy(RoutingStrategy):
                         warm=warm,
                         changed_edges=changed,
                     )
+                    if _sanity.ACTIVE is not None:
+                        # Raw solver output, before any subclass reorders
+                        # its published copy (the naive-order ablation
+                        # violates Theorem 1 on purpose).
+                        table = _sanity.ACTIVE.checked_table(table)
                     self._tables[key] = table
                     self._warm_tables[key] = table
 
@@ -273,6 +279,8 @@ class DcrdStrategy(RoutingStrategy):
             deadline=subscription.deadline,
             m=self.ctx.params.m,
         )
+        if _sanity.ACTIVE is not None:
+            table = _sanity.ACTIVE.checked_table(table)
         key = (topic, subscription.node)
         self._tables[key] = table
         self._warm_tables[key] = table

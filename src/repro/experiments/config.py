@@ -75,6 +75,13 @@ class ExperimentConfig:
     duration: float = 120.0
     drain: float = 10.0
 
+    # --- debugging ----------------------------------------------------
+    # Run under the SimSanitizer (repro.sanity): live invariant checks
+    # plus end-of-drain conservation accounting. Observation-only — the
+    # event trace is bit-identical either way — but costs time and memory,
+    # so it defaults to off.
+    sanitize: bool = False
+
     def __post_init__(self) -> None:
         require(self.num_nodes >= 2, "num_nodes must be >= 2")
         require(

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro import sanity as _sanity
 from repro.core.forwarding import DcrdStrategy
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.collector import MetricsCollector
@@ -102,13 +103,29 @@ class SimulationEnvironment:
     brokers: List[BrokerRuntime]
     publishers: List[PublisherProcess]
     monitor_process: PeriodicProcess
+    sanitizer: Optional[_sanity.Sanitizer] = None
 
     def execute(self) -> MetricsSummary:
-        """Run to the configured end time and summarise."""
-        for publisher in self.publishers:
-            publisher.start()
-        self.monitor_process.start()
-        self.ctx.sim.run(until=self.config.end_time)
+        """Run to the configured end time and summarise.
+
+        With ``config.sanitize`` on, the environment's sanitizer is
+        installed for the duration of the run; invariant violations raise
+        :class:`~repro.sanity.InvariantViolation` mid-run, and the
+        end-of-drain checks (timer orphans, frame conservation) run before
+        the summary is assembled.
+        """
+        # Assign unconditionally: a stale sanitizer from an aborted run
+        # must never observe an unrelated (unsanitized) environment.
+        _sanity.install(self.sanitizer)
+        try:
+            for publisher in self.publishers:
+                publisher.start()
+            self.monitor_process.start()
+            self.ctx.sim.run(until=self.config.end_time)
+        finally:
+            _sanity.uninstall()
+        if self.sanitizer is not None:
+            self.sanitizer.finish(self.ctx.metrics, self.ctx.sim.now)
         return summarize(
             self.ctx.metrics,
             self.ctx.network.stats.data_sent(),
@@ -139,6 +156,8 @@ class SimulationEnvironment:
         perf["sim.heap_compactions"] = float(sim.heap_compactions)
         perf["sim.tombstones_reaped"] = float(sim.tombstones_reaped)
         perf["monitor.refreshes"] = float(self.ctx.monitor.refreshes)
+        if self.sanitizer is not None:
+            perf.update(self.sanitizer.perf_counters())
         return perf
 
 
@@ -224,9 +243,17 @@ def build_environment(
             m=config.m, ack_timeout_factor=config.ack_timeout_factor
         ),
     )
-    strategy = STRATEGIES[strategy_name](ctx)
-    strategy.setup()
-    brokers = [BrokerRuntime(node, ctx, strategy) for node in topology.nodes]
+    # The sanitizer must watch the *build* too: strategy.setup() solves the
+    # initial control tables (Theorem-1 order checks) right here. Installed
+    # unconditionally — None clears any stale hook from an aborted run.
+    sanitizer = _sanity.Sanitizer() if config.sanitize else None
+    _sanity.install(sanitizer)
+    try:
+        strategy = STRATEGIES[strategy_name](ctx)
+        strategy.setup()
+        brokers = [BrokerRuntime(node, ctx, strategy) for node in topology.nodes]
+    finally:
+        _sanity.uninstall()
     publishers = [
         PublisherProcess(ctx, strategy, spec, stop_time=config.duration)
         for spec in workload.topics
@@ -245,6 +272,7 @@ def build_environment(
         brokers=brokers,
         publishers=publishers,
         monitor_process=monitor_process,
+        sanitizer=sanitizer,
     )
 
 

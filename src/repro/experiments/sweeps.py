@@ -24,8 +24,30 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import DEFAULT_STRATEGIES, run_single
 from repro.metrics.summary import MetricsSummary, mean_summaries
+from repro.util.errors import ConfigurationError, ReproError
 
 ProgressHook = Callable[[str], None]
+
+
+class SweepWorkerError(ReproError):
+    """A sweep cell failed; identifies the (config, strategy, seed) triple.
+
+    Pool workers report failures as bare pickled remote tracebacks, which
+    say nothing about *which* cell died. This wrapper re-raises with the
+    failing triple attached (and the original exception chained as
+    ``__cause__``).
+    """
+
+    def __init__(
+        self, config: ExperimentConfig, strategy: str, seed: int, cause: BaseException
+    ) -> None:
+        self.config = config
+        self.strategy = strategy
+        self.seed = seed
+        super().__init__(
+            f"sweep cell failed: strategy={strategy!r} seed={seed} "
+            f"config=[{config.describe()}]: {cause!r}"
+        )
 
 
 def _run_cell(task: Tuple[ExperimentConfig, str, int]) -> MetricsSummary:
@@ -43,6 +65,27 @@ def _pool(workers: int) -> ProcessPoolExecutor:
     )
 
 
+def _require_workers(workers: int) -> None:
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+
+
+def _run_grid(
+    tasks: Sequence[Tuple[ExperimentConfig, str, int]], workers: int
+) -> List[MetricsSummary]:
+    """Run cells across the pool; annotate failures with their triple."""
+    with _pool(workers) as pool:
+        futures = [pool.submit(_run_cell, task) for task in tasks]
+        results: List[MetricsSummary] = []
+        for task, future in zip(tasks, futures):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                config, strategy, seed = task
+                raise SweepWorkerError(config, strategy, seed, exc) from exc
+    return results
+
+
 def run_repetitions(
     config: ExperimentConfig,
     strategy: str,
@@ -51,11 +94,10 @@ def run_repetitions(
     workers: int = 1,
 ) -> MetricsSummary:
     """Average one (config, strategy) cell over several seeds."""
+    _require_workers(workers)
     if workers > 1:
         tasks = [(config, strategy, seed) for seed in seeds]
-        with _pool(workers) as pool:
-            summaries = list(pool.map(_run_cell, tasks))
-        return mean_summaries(summaries)
+        return mean_summaries(_run_grid(tasks, workers))
     summaries: List[MetricsSummary] = []
     for seed in seeds:
         if progress is not None:
@@ -113,6 +155,7 @@ def sweep(
     triple) across a process pool; results are identical to the serial
     run, just faster.
     """
+    _require_workers(workers)
     result = SweepResult(
         name=name,
         x_label=x_label,
@@ -127,8 +170,7 @@ def sweep(
             for seed in seeds
         ]
         tasks = [(configs[x], strategy, seed) for x, strategy, seed in grid]
-        with _pool(workers) as pool:
-            outputs = list(pool.map(_run_cell, tasks))
+        outputs = _run_grid(tasks, workers)
         buckets: Dict[Tuple[object, str], List[MetricsSummary]] = {}
         for (x, strategy, _), summary in zip(grid, outputs):
             buckets.setdefault((x, strategy), []).append(summary)

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro import sanity as _sanity
 from repro.core.forwarding import DcrdStrategy
 from repro.pubsub.messages import PacketFrame
 from repro.routing.base import RuntimeContext
@@ -92,6 +93,11 @@ class PersistentDcrdStrategy(DcrdStrategy):
             return
         self.store.stored += 1
         self.store.pending[key] = item
+        if _sanity.ACTIVE is not None:
+            # The pair is in explicit custody, not leaked: the sanitizer's
+            # end-of-run conservation check must account it as such when
+            # the run ends before the retries are exhausted.
+            _sanity.ACTIVE.on_pair_custody(frame.msg_id, subscriber)
         self.ctx.sim.schedule(self.retry_backoff, self._retry, key)
 
     def _retry(self, key: Tuple[int, int, int]) -> None:

@@ -29,6 +29,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro import sanity as _sanity
 from repro.overlay.failures import FailureSchedule, NodeFailureSchedule
 from repro.overlay.topology import Topology, canonical_edge
 from repro.sim.engine import Simulator
@@ -352,6 +353,7 @@ class OverlayNetwork:
         ):
             stats.lost_node_down[kind] += 1
             survived = False
+            cause = "node_down"
         else:
             failures = self.failures
             link_down = False
@@ -371,6 +373,7 @@ class OverlayNetwork:
             if link_down:
                 stats.lost_failure[kind] += 1
                 survived = False
+                cause = "link_failure"
             else:
                 effective_loss = entry[1]
                 if (
@@ -380,6 +383,11 @@ class OverlayNetwork:
                 ):
                     stats.lost_random[kind] += 1
                     survived = False
+                    cause = "random_loss"
+        if _sanity.ACTIVE is not None and kind is FrameKind.DATA:
+            _sanity.ACTIVE.on_data_transmit(
+                src, dst, frame, survived, None if survived else cause
+            )
         if survived:
             if self._queueing and kind is FrameKind.DATA:
                 if self._edf:
@@ -420,13 +428,19 @@ class OverlayNetwork:
         node_failures = self.node_failures
         if node_failures is not None and node_failures.is_failed(dst, self.sim._now):
             self.stats.lost_node_down[kind] += 1
+            if _sanity.ACTIVE is not None and kind is FrameKind.DATA:
+                _sanity.ACTIVE.on_frame_lost(frame, "node_down_arrival")
             return
         # The cached handler is current: attach/detach clear the cache.
         entry = self._dir_cache.get((src << 21) | dst)
         handler = entry[2] if entry is not None else self._handlers.get(dst)
         if handler is None:
+            if _sanity.ACTIVE is not None and kind is FrameKind.DATA:
+                _sanity.ACTIVE.on_frame_lost(frame, "no_handler")
             return
         self.stats.delivered[kind] += 1
+        if _sanity.ACTIVE is not None and kind is FrameKind.DATA:
+            _sanity.ACTIVE.on_frame_delivered(frame)
         handler(src, frame)
 
     # ------------------------------------------------------------------
@@ -459,9 +473,11 @@ class OverlayNetwork:
             entry = self._dir_cache.get((key[0] << 21) | key[1])
             prop = entry[0] if entry is not None else self.topology.delay(*key)
             while queue and queue[0][0] < now + prop:
-                _, _, _, kind, size = heapq.heappop(queue)
+                _, _, dropped, kind, size = heapq.heappop(queue)
                 self.stats.dropped_expired[kind] += 1
                 self._edf_queued_size[key] -= size
+                if _sanity.ACTIVE is not None:
+                    _sanity.ACTIVE.on_frame_expired(dropped)
                 if self._trace:
                     self.transmissions.append(
                         Transmission(now, key[0], key[1], kind, False, expired=True)

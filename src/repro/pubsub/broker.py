@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Set
 
+from repro import sanity as _sanity
 from repro.overlay.links import FrameKind
 from repro.pubsub.messages import AckFrame, PacketFrame
 from repro.routing.base import RoutingStrategy, RuntimeContext
@@ -102,6 +103,10 @@ class BrokerRuntime:
         order.append(key)
         if len(order) > DEDUP_CAPACITY:
             seen.discard(order.popleft())
+        if _sanity.ACTIVE is not None:
+            # Post-dedup: the same transfer must never pass twice, and the
+            # carried routing path must be loop-free and in sync.
+            _sanity.ACTIVE.on_broker_accept(node, sender, frame)
         # Local delivery (inlined): deliver to a subscriber hosted here,
         # then forward whatever destinations remain.
         destinations = frame.destinations

@@ -31,6 +31,7 @@ from __future__ import annotations
 from heapq import heappush as _heappush
 from typing import Callable, Dict, Optional, Protocol, Tuple
 
+from repro import sanity as _sanity
 from repro.overlay.links import FrameKind
 from repro.pubsub.messages import AckFrame, PacketFrame
 from repro.routing.base import RuntimeContext
@@ -170,8 +171,15 @@ class ArqSender:
         del self._outstanding[ack.transfer_id]
         event = entry.event
         if event is not None:
-            event.cancel()
-            self.timers_cancelled += 1
+            if _sanity.ACTIVE is None:
+                event.cancel()
+                self.timers_cancelled += 1
+            elif not _sanity.MUTATE_SKIP_TIMER_CANCEL:
+                event.cancel()
+                self.timers_cancelled += 1
+                _sanity.ACTIVE.on_timer_cancelled(event.seq)
+            # else: test mutation — leak the timer so the end-of-run
+            # orphan check must catch it.
         self.acked += 1
         if self._rtt_sampling and entry.attempts == 1:
             # Karn's rule: only first-attempt ACKs give unambiguous RTTs.
@@ -198,10 +206,17 @@ class ArqSender:
         )
         _heappush(self._sim_heap, (time, seq, event))
         sim._live += 1
+        if _sanity.ACTIVE is not None:
+            _sanity.ACTIVE.on_timer_started(seq, time)
 
     def _on_timeout(self, entry: _Outstanding) -> None:
         if entry.frame.transfer_id not in self._outstanding:
             return
+        if _sanity.ACTIVE is not None:
+            # After the outstanding check on purpose: a fire that finds its
+            # transfer already settled must NOT count as the settlement
+            # (that is exactly how a leaked cancel shows up as an orphan).
+            _sanity.ACTIVE.on_timer_fired(entry.event.seq)
         if entry.attempts < self._m:
             self._transmit(entry)
             return

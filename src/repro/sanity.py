@@ -1,0 +1,594 @@
+"""SimSanitizer: opt-in runtime invariant checking for the data plane.
+
+Two consecutive performance PRs rewrote the kernel heap, the frame copy
+helpers, and the ARQ hot paths; the correctness claims they must preserve
+(Theorem 1 sending-list order, loop-free path-carried routing, at-most-once
+delivery after dedup, exactly-once ACK-timer settlement, end-of-run frame
+conservation) were only visible indirectly through aggregate metrics. This
+module watches them *live*, sanitizer-style:
+
+* The hook sites in :mod:`repro.sim.engine`, :mod:`repro.overlay.links`,
+  :mod:`repro.pubsub.broker`, :mod:`repro.routing.arq` and
+  :mod:`repro.core.forwarding` all read the module-level :data:`ACTIVE`
+  slot and do nothing when it is ``None`` — one load and one pointer
+  comparison, so disabled runs (the default) stay bit-identical to the
+  fast path, and the fingerprint suite keeps passing unchanged.
+* When a :class:`Sanitizer` is installed (``ExperimentConfig.sanitize`` /
+  CLI ``--sanitize``), every hook feeds a per-frame lifecycle ledger and a
+  per-timer settlement table, and violations raise a structured
+  :class:`InvariantViolation` *at the offending event*, carrying the frame
+  trace that produced it.
+* The sanitizer only **observes**: it consumes no randomness and schedules
+  no events, so a sanitized run pops the exact event sequence of the
+  unsanitized run (``tests/integration/test_fuzz_invariants.py`` pins
+  this).
+
+Checked invariants (fail-fast unless noted):
+
+====================  ====================================================
+kind                  meaning
+====================  ====================================================
+EVENT_ORDER           the kernel popped an event dated before ``now``
+PATH_CYCLE            a frame re-entered a visited broker and the move was
+                      not a legal DCRD upstream bounce
+PATH_DESYNC           ``frame.path_set`` drifted from ``routing_path``
+DUPLICATE_DELIVERY    one transfer id passed a broker's dedup twice
+TIMER_UNKNOWN         an ARQ timer settled that was never started
+TIMER_DOUBLE_SETTLE   an ARQ timer cancelled/fired more than once
+TIMER_ORPHAN          a due ARQ timer never settled (end-of-run check)
+SENDING_LIST_ORDER    a solved sending list violates Theorem 1 d/r order
+CONSERVATION          published != delivered + dropped + expired +
+                      stranded (end-of-run check, itemised)
+====================  ====================================================
+
+The end-of-run checks run in :meth:`Sanitizer.finish`; totals surface as
+``sanity.*`` perf counters through ``MetricsSummary.perf``.
+
+The module deliberately imports only leaf modules (``util.errors``,
+``core.sending_list``) so every instrumented layer — including the kernel
+itself — can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.sending_list import theorem1_key
+from repro.util.errors import ReproError
+
+#: The installed sanitizer, or ``None`` (the default). Every hook site
+#: guards on ``if _sanity.ACTIVE is not None`` — the whole feature costs
+#: one module-attribute load and one identity check per hook when off.
+ACTIVE: Optional["Sanitizer"] = None
+
+# ---------------------------------------------------------------------------
+# Test-only mutation flags ("does the sanitizer have teeth?"). They are
+# consulted exclusively inside ACTIVE-guarded blocks, so they cannot affect
+# unsanitized runs no matter what a test leaves behind.
+# ---------------------------------------------------------------------------
+#: Reverse one freshly solved sending list before it is published, so the
+#: Theorem-1 order check must fire.
+MUTATE_MISSORT_SENDING_LIST = False
+#: Skip the ARQ timer cancellation on ACK, leaking timers that the
+#: end-of-run orphan check must flag.
+MUTATE_SKIP_TIMER_CANCEL = False
+
+# Violation kinds.
+EVENT_ORDER = "event_order"
+PATH_CYCLE = "path_cycle"
+PATH_DESYNC = "path_desync"
+DUPLICATE_DELIVERY = "duplicate_delivery"
+TIMER_UNKNOWN = "timer_unknown"
+TIMER_DOUBLE_SETTLE = "timer_double_settle"
+TIMER_ORPHAN = "timer_orphan"
+SENDING_LIST_ORDER = "sending_list_order"
+CONSERVATION = "conservation"
+
+# Timer settlement states.
+_PENDING = 0
+_CANCELLED = 1
+_FIRED = 2
+_STATE_NAMES = {_PENDING: "pending", _CANCELLED: "cancelled", _FIRED: "fired"}
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant failed; carries the offending frame trace.
+
+    Attributes
+    ----------
+    kind:
+        One of the module-level kind constants (``EVENT_ORDER``, ...).
+    details:
+        Structured facts about the violation (times, nodes, counts, ...).
+    frames:
+        The frame(s) involved, when the invariant concerns frames.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        message: str,
+        frames: Tuple[Any, ...] = (),
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.kind = kind
+        self.details = details or {}
+        self.frames = frames
+        super().__init__(f"[{kind}] {message}")
+
+    def report(self) -> str:
+        """Multi-line human-readable report (see docs/TESTING.md)."""
+        lines = [f"InvariantViolation: {self.args[0]}"]
+        for key in sorted(self.details):
+            lines.append(f"  {key}: {self.details[key]!r}")
+        for frame in self.frames:
+            lines.append(f"  frame: {_describe_frame(frame)}")
+        return "\n".join(lines)
+
+
+def _describe_frame(frame: Any) -> str:
+    tid = getattr(frame, "transfer_id", None)
+    if tid is None:
+        return repr(frame)
+    return (
+        f"transfer={tid} msg={frame.msg_id} topic={frame.topic} "
+        f"origin={frame.origin} dests={sorted(frame.destinations)} "
+        f"path={frame.routing_path}"
+    )
+
+
+class _TransferRecord:
+    """Link-level lifecycle counters of one transfer (= one frame copy)."""
+
+    __slots__ = ("msg_id", "destinations", "sent", "delivered", "lost", "expired")
+
+    def __init__(self, msg_id: int, destinations: Any) -> None:
+        self.msg_id = msg_id
+        self.destinations = destinations
+        self.sent = 0
+        self.delivered = 0
+        self.lost = 0
+        self.expired = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self.sent - self.delivered - self.lost - self.expired
+
+
+class Sanitizer:
+    """Live invariant checker; install via the :data:`ACTIVE` slot.
+
+    All hooks are observation-only (no RNG draws, no scheduling), so an
+    enabled run executes the identical event sequence as a disabled one.
+    State grows with the run (one record per transfer, one per ARQ timer);
+    the class is meant for tests and debugging sessions, not for the
+    full-scale benchmark sweeps.
+    """
+
+    def __init__(self) -> None:
+        # Aggregate counters surfaced as sanity.* perf entries.
+        self.events_checked = 0
+        self.timers_started = 0
+        self.timers_settled = 0
+        self.tables_checked = 0
+        self.accepts_checked = 0
+        self.violations = 0
+        # transfer_id -> lifecycle record.
+        self._transfers: Dict[int, _TransferRecord] = {}
+        # Loss itemisation across all transfers, by cause.
+        self.losses_by_cause: Dict[str, int] = {}
+        # ARQ timer token (kernel event seq) -> [deadline, state].
+        self._timers: Dict[int, List[Any]] = {}
+        # (node, transfer_id) pairs that passed a broker's dedup filter.
+        self._accepted: Set[Tuple[int, int]] = set()
+        # (msg_id, subscriber) pairs a strategy took into explicit custody
+        # (e.g. the persistency store) instead of giving up on.
+        self._custody: Set[Tuple[int, int]] = set()
+        # End-of-run conservation partition, filled by finish().
+        self.pair_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _violate(
+        self,
+        kind: str,
+        message: str,
+        frames: Tuple[Any, ...] = (),
+        **details: Any,
+    ) -> None:
+        self.violations += 1
+        raise InvariantViolation(kind, message, frames=frames, details=details)
+
+    # ------------------------------------------------------------------
+    # Kernel (sim/engine.py)
+    # ------------------------------------------------------------------
+    def on_event_pop(self, time: float, now: float) -> None:
+        """The kernel is about to execute an event dated *time*."""
+        self.events_checked += 1
+        if time < now:
+            self._violate(
+                EVENT_ORDER,
+                f"event dated t={time!r} popped at now={now!r}",
+                time=time,
+                now=now,
+            )
+
+    # ------------------------------------------------------------------
+    # Overlay links (overlay/links.py)
+    # ------------------------------------------------------------------
+    def on_data_transmit(
+        self, src: int, dst: int, frame: Any, survived: bool, cause: Optional[str]
+    ) -> None:
+        """A DATA frame was handed to the (src, dst) link direction."""
+        transfer_id = getattr(frame, "transfer_id", None)
+        if transfer_id is None:
+            return  # tests transmit bare objects; nothing to track
+        record = self._transfers.get(transfer_id)
+        if record is None:
+            record = _TransferRecord(frame.msg_id, frame.destinations)
+            self._transfers[transfer_id] = record
+        record.sent += 1
+        if not survived:
+            record.lost += 1
+            cause = cause or "unknown"
+            self.losses_by_cause[cause] = self.losses_by_cause.get(cause, 0) + 1
+
+    def on_frame_delivered(self, frame: Any) -> None:
+        """A DATA frame reached its receiver's handler."""
+        transfer_id = getattr(frame, "transfer_id", None)
+        if transfer_id is None:
+            return
+        record = self._transfers.get(transfer_id)
+        if record is None:
+            self._violate(
+                CONSERVATION,
+                f"transfer {transfer_id} delivered but never transmitted",
+                frames=(frame,),
+                transfer_id=transfer_id,
+            )
+        record.delivered += 1
+        if record.delivered + record.lost + record.expired > record.sent:
+            self._violate(
+                CONSERVATION,
+                f"transfer {transfer_id} settled more often than it was sent",
+                frames=(frame,),
+                sent=record.sent,
+                delivered=record.delivered,
+                lost=record.lost,
+                expired=record.expired,
+            )
+
+    def on_frame_lost(self, frame: Any, cause: str) -> None:
+        """A DATA frame was dropped after transmission (arrival hazards)."""
+        transfer_id = getattr(frame, "transfer_id", None)
+        if transfer_id is None:
+            return
+        record = self._transfers.get(transfer_id)
+        if record is not None:
+            record.lost += 1
+        self.losses_by_cause[cause] = self.losses_by_cause.get(cause, 0) + 1
+
+    def on_frame_expired(self, frame: Any) -> None:
+        """The EDF overload policy discarded a queued DATA frame."""
+        transfer_id = getattr(frame, "transfer_id", None)
+        if transfer_id is None:
+            return
+        record = self._transfers.get(transfer_id)
+        if record is not None:
+            record.expired += 1
+        self.losses_by_cause["edf_expired"] = (
+            self.losses_by_cause.get("edf_expired", 0) + 1
+        )
+
+    # ------------------------------------------------------------------
+    # Broker runtime (pubsub/broker.py)
+    # ------------------------------------------------------------------
+    def on_broker_accept(self, node: int, sender: int, frame: Any) -> None:
+        """A DATA frame from *sender* passed broker *node*'s dedup.
+
+        Loop freedom: the routing path may legitimately revisit brokers —
+        DCRD *bounces* stuck copies back upstream (§III, Algorithm 2 lines
+        10–12) — but a revisit is only legal when *node* is exactly the
+        upstream the sender read from its carried path. Any other arrival
+        at an already-visited broker is a forwarding loop.
+        """
+        self.accepts_checked += 1
+        path = frame.routing_path
+        if frozenset(path) != frame.path_set:
+            self._violate(
+                PATH_DESYNC,
+                f"frame at broker {node} has path_set out of sync with "
+                f"routing_path={path}",
+                frames=(frame,),
+                node=node,
+                routing_path=path,
+                path_set=sorted(frame.path_set),
+            )
+        if path and path[-1] != sender:
+            self._violate(
+                PATH_DESYNC,
+                f"frame arrived at broker {node} from {sender} but its "
+                f"routing path ends in {path[-1]}",
+                frames=(frame,),
+                node=node,
+                sender=sender,
+                routing_path=path,
+            )
+        if node in frame.path_set:
+            # The path the sender's task held is everything before the
+            # sender's own appended entry; its upstream is the entry just
+            # before the sender's first appearance there (or the last
+            # sender when it had not forwarded this copy before) — the
+            # exact rule of PacketFrame.upstream_of.
+            prefix = path[:-1]
+            if sender in prefix:
+                index = prefix.index(sender)
+                expected = prefix[index - 1] if index > 0 else -1
+            else:
+                expected = prefix[-1] if prefix else -1
+            if node != expected:
+                self._violate(
+                    PATH_CYCLE,
+                    f"frame re-entered already-visited broker {node} from "
+                    f"{sender} (not a legal upstream bounce, which would "
+                    f"go to {expected}): path={path}",
+                    frames=(frame,),
+                    node=node,
+                    sender=sender,
+                    routing_path=path,
+                )
+        key = (node, frame.transfer_id)
+        if key in self._accepted:
+            self._violate(
+                DUPLICATE_DELIVERY,
+                f"transfer {frame.transfer_id} passed dedup twice at "
+                f"broker {node}",
+                frames=(frame,),
+                node=node,
+                transfer_id=frame.transfer_id,
+            )
+        self._accepted.add(key)
+
+    # ------------------------------------------------------------------
+    # ARQ (routing/arq.py)
+    # ------------------------------------------------------------------
+    def on_timer_started(self, token: int, deadline: float) -> None:
+        """An ACK-timeout event was pushed into the calendar queue."""
+        self.timers_started += 1
+        self._timers[token] = [deadline, _PENDING]
+
+    def on_timer_cancelled(self, token: int) -> None:
+        """The ACK arrived first; the timer was cancelled."""
+        self._settle(token, _CANCELLED)
+
+    def on_timer_fired(self, token: int) -> None:
+        """The timeout fired and was acted on (retransmit or fail)."""
+        self._settle(token, _FIRED)
+
+    def _settle(self, token: int, state: int) -> None:
+        entry = self._timers.get(token)
+        if entry is None:
+            self._violate(
+                TIMER_UNKNOWN,
+                f"ARQ timer {token} settled but was never started",
+                token=token,
+            )
+        if entry[1] != _PENDING:
+            self._violate(
+                TIMER_DOUBLE_SETTLE,
+                f"ARQ timer {token} settled twice "
+                f"({_STATE_NAMES[entry[1]]}, then {_STATE_NAMES[state]})",
+                token=token,
+                first=_STATE_NAMES[entry[1]],
+                second=_STATE_NAMES[state],
+            )
+        entry[1] = state
+        self.timers_settled += 1
+
+    # ------------------------------------------------------------------
+    # DCRD control plane (core/forwarding.py)
+    # ------------------------------------------------------------------
+    def checked_table(self, table: Any) -> Any:
+        """Validate (and, under the test mutation, corrupt) a solved table.
+
+        Called on every raw solver output before the strategy publishes
+        it — deliberately *before* post-processing ablations like the
+        naive-order strategy reorder their copies, which are allowed to
+        violate Theorem 1 by design.
+        """
+        if MUTATE_MISSORT_SENDING_LIST:
+            table = _missort_table(table)
+        self.check_dr_table(table)
+        return table
+
+    def check_dr_table(self, table: Any) -> None:
+        """Every sending list must be in Theorem-1 ``d/r`` order."""
+        self.tables_checked += 1
+        for node, state in table.states.items():
+            previous = None
+            for via in state.sending_list:
+                key = (theorem1_key(via.d_via, via.r_via), via.neighbor)
+                if previous is not None and key < previous:
+                    self._violate(
+                        SENDING_LIST_ORDER,
+                        f"sending list of broker {node} for pair "
+                        f"({table.publisher} -> {table.subscriber}) is out "
+                        f"of Theorem-1 d/r order",
+                        node=node,
+                        publisher=table.publisher,
+                        subscriber=table.subscriber,
+                        sending_list=[
+                            (v.neighbor, v.d_via, v.r_via)
+                            for v in state.sending_list
+                        ],
+                    )
+                previous = key
+
+    # ------------------------------------------------------------------
+    # Strategy custody (extensions/persistence.py)
+    # ------------------------------------------------------------------
+    def on_pair_custody(self, msg_id: int, subscriber: int) -> None:
+        """A strategy persisted (msg, subscriber) instead of giving up."""
+        self._custody.add((msg_id, subscriber))
+
+    # ------------------------------------------------------------------
+    # End-of-run checks
+    # ------------------------------------------------------------------
+    def finish(self, metrics: Any, now: float) -> None:
+        """Run the end-of-drain checks; raises on the first violation.
+
+        Parameters
+        ----------
+        metrics:
+            The run's :class:`~repro.metrics.collector.MetricsCollector`.
+        now:
+            Final virtual time (orphan timers are only flagged when their
+            deadline is in the executed past — later ones were legitimately
+            cut off by the end of the run).
+        """
+        self._check_timer_orphans(now)
+        self._check_conservation(metrics)
+
+    def _check_timer_orphans(self, now: float) -> None:
+        orphans = [
+            (token, entry[0])
+            for token, entry in self._timers.items()
+            if entry[1] == _PENDING and entry[0] <= now
+        ]
+        if orphans:
+            token, deadline = orphans[0]
+            self._violate(
+                TIMER_ORPHAN,
+                f"{len(orphans)} ARQ timer(s) due by t={now!r} were neither "
+                f"cancelled nor fired (first: token {token}, due "
+                f"t={deadline!r})",
+                orphans=len(orphans),
+                first_token=token,
+                first_deadline=deadline,
+                now=now,
+            )
+
+    def _check_conservation(self, metrics: Any) -> None:
+        """published = delivered + dropped + expired + stranded, itemised.
+
+        Every expected (message, subscriber) pair must end the run in a
+        provable state: delivered, given up (dropped), or stranded with a
+        link-level explanation — a carrying copy lost, expired, still in
+        flight, delivered-but-unusable at a broker (e.g. an undecodable
+        FEC fragment subset), or in explicit strategy custody. A pair
+        *no copy ever carried* and no strategy accounted for is leaked
+        protocol state.
+        """
+        by_msg: Dict[int, List[_TransferRecord]] = {}
+        for record in self._transfers.values():
+            by_msg.setdefault(record.msg_id, []).append(record)
+
+        counts = {
+            "delivered": 0,
+            "dropped": 0,
+            "expired": 0,
+            "stranded_in_flight": 0,
+            "stranded_lost": 0,
+            "stranded_arrived": 0,
+            "stranded_custody": 0,
+            "leaked": 0,
+        }
+        leaked: List[Tuple[int, int]] = []
+        for outcome in metrics.outcomes():
+            counts[self._classify(outcome, by_msg, leaked)] += 1
+        self.pair_counts = counts
+        if counts["leaked"]:
+            self._violate(
+                CONSERVATION,
+                f"{counts['leaked']} expected pair(s) vanished: never "
+                f"given up, never carried by any transmitted copy "
+                f"(first: msg {leaked[0][0]} -> subscriber {leaked[0][1]})",
+                pair_counts=dict(counts),
+                leaked_pairs=leaked[:10],
+                losses_by_cause=dict(self.losses_by_cause),
+            )
+
+    def _classify(
+        self,
+        outcome: Any,
+        by_msg: Dict[int, List[_TransferRecord]],
+        leaked: List[Tuple[int, int]],
+    ) -> str:
+        if outcome.delivered:
+            return "delivered"
+        if outcome.gave_up:
+            return "dropped"
+        pair = (outcome.msg_id, outcome.subscriber)
+        if pair in self._custody:
+            return "stranded_custody"
+        subscriber = outcome.subscriber
+        in_flight = lost = expired = carried = 0
+        for record in by_msg.get(outcome.msg_id, ()):
+            if subscriber not in record.destinations:
+                continue
+            carried += 1
+            in_flight += record.in_flight
+            lost += record.lost
+            expired += record.expired
+        if in_flight:
+            return "stranded_in_flight"
+        if expired:
+            return "expired"
+        if lost:
+            return "stranded_lost"
+        if carried:
+            # Every carrying copy arrived somewhere, yet the pair was not
+            # delivered: the copies stopped being useful at a broker (an
+            # undecodable FEC fragment subset, a dedup-suppressed bounce).
+            return "stranded_arrived"
+        leaked.append(pair)
+        return "leaked"
+
+    # ------------------------------------------------------------------
+    def perf_counters(self) -> Dict[str, float]:
+        """The ``sanity.*`` entries merged into ``MetricsSummary.perf``."""
+        perf = {
+            "sanity.events_checked": float(self.events_checked),
+            "sanity.frames_tracked": float(len(self._transfers)),
+            "sanity.accepts_checked": float(self.accepts_checked),
+            "sanity.timers_started": float(self.timers_started),
+            "sanity.timers_settled": float(self.timers_settled),
+            "sanity.tables_checked": float(self.tables_checked),
+            "sanity.violations": float(self.violations),
+        }
+        for category, count in self.pair_counts.items():
+            perf[f"sanity.pairs_{category}"] = float(count)
+        return perf
+
+
+def _missort_table(table: Any) -> Any:
+    """Test mutation: reverse the first reversible sending list.
+
+    Picks the first broker whose list has two entries with *different*
+    Theorem-1 keys (reversing an all-tied list would still be validly
+    ordered) and publishes the corrupted table.
+    """
+    for node, state in table.states.items():
+        keys = [
+            (theorem1_key(via.d_via, via.r_via), via.neighbor)
+            for via in state.sending_list
+        ]
+        if len(keys) >= 2 and keys[0] != keys[-1]:
+            states = dict(table.states)
+            states[node] = dataclasses.replace(
+                state, sending_list=tuple(reversed(state.sending_list))
+            )
+            return dataclasses.replace(table, states=states, _orders={})
+    return table
+
+
+def install(sanitizer: Optional["Sanitizer"]) -> None:
+    """Install *sanitizer* into the :data:`ACTIVE` slot (``None`` clears)."""
+    global ACTIVE
+    ACTIVE = sanitizer
+
+
+def uninstall() -> None:
+    """Clear the :data:`ACTIVE` slot."""
+    global ACTIVE
+    ACTIVE = None

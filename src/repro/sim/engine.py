@@ -36,6 +36,7 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro import sanity as _sanity
 from repro.util.errors import SimulationError
 
 _heappush = heapq.heappush
@@ -268,6 +269,9 @@ class Simulator:
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
+        # Sanitizer hook, hoisted once per run(): None (the default) keeps
+        # the loop body at a single local load + identity check per event.
+        sanitizer = _sanity.ACTIVE
         try:
             while heap:
                 entry = heap[0]
@@ -287,6 +291,8 @@ class Simulator:
                     )
                 heappop(heap)
                 self._live -= 1
+                if sanitizer is not None:
+                    sanitizer.on_event_pop(entry[0], self._now)
                 self._now = entry[0]
                 if event is not None:
                     event.fired = True
@@ -309,6 +315,7 @@ class Simulator:
         Useful in tests that need fine-grained control.
         """
         heap = self._heap
+        sanitizer = _sanity.ACTIVE
         while heap:
             entry = heapq.heappop(heap)
             if len(entry) == 3:
@@ -317,11 +324,15 @@ class Simulator:
                     self._tombstones -= 1
                     continue
                 self._live -= 1
-                event.fired = True
+                if sanitizer is not None:
+                    sanitizer.on_event_pop(entry[0], self._now)
                 self._now = entry[0]
+                event.fired = True
                 event.callback(*event.args)
             else:
                 self._live -= 1
+                if sanitizer is not None:
+                    sanitizer.on_event_pop(entry[0], self._now)
                 self._now = entry[0]
                 entry[2](*entry[3])
             self._processed += 1

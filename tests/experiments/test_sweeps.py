@@ -4,7 +4,8 @@ import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_single
-from repro.experiments.sweeps import run_repetitions, sweep
+from repro.experiments.sweeps import SweepWorkerError, run_repetitions, sweep
+from repro.util.errors import ConfigurationError
 
 FAST = ExperimentConfig(duration=6.0, drain=2.0, num_topics=2, num_nodes=6)
 
@@ -64,6 +65,41 @@ def test_parallel_repetitions_match_serial():
     serial = run_repetitions(FAST, "DCRD", seeds=(1, 2))
     parallel = run_repetitions(FAST, "DCRD", seeds=(1, 2), workers=2)
     assert serial.as_dict() == parallel.as_dict()
+
+
+@pytest.mark.parametrize("workers", [0, -1])
+def test_run_repetitions_rejects_bad_worker_counts(workers):
+    with pytest.raises(ConfigurationError, match="workers"):
+        run_repetitions(FAST, "DCRD", seeds=(1,), workers=workers)
+
+
+@pytest.mark.parametrize("workers", [0, -3])
+def test_sweep_rejects_bad_worker_counts(workers):
+    with pytest.raises(ConfigurationError, match="workers"):
+        sweep("s", "pf", {0.0: FAST}, seeds=(1,), strategies=("DCRD",),
+              workers=workers)
+
+
+def test_worker_failure_names_the_failing_cell():
+    # An unknown strategy makes the remote cell raise; the pool must not
+    # surface a bare pickled traceback but the annotated wrapper.
+    with pytest.raises(SweepWorkerError) as excinfo:
+        run_repetitions(FAST, "NoSuchStrategy", seeds=(1, 2), workers=2)
+    error = excinfo.value
+    assert error.strategy == "NoSuchStrategy"
+    assert error.seed in (1, 2)
+    assert error.config == FAST
+    assert "NoSuchStrategy" in str(error)
+    assert error.__cause__ is not None
+
+
+def test_sweep_worker_failure_names_the_failing_cell():
+    configs = {0.0: FAST}
+    with pytest.raises(SweepWorkerError) as excinfo:
+        sweep("s", "pf", configs, seeds=(1,), strategies=("NoSuchStrategy",),
+              workers=2)
+    assert excinfo.value.strategy == "NoSuchStrategy"
+    assert excinfo.value.seed == 1
 
 
 def test_sweep_metrics_table_layout():

@@ -1,0 +1,205 @@
+"""Differential conformance: all strategies, one world, cross-checked facts.
+
+Every strategy in the paper's comparison runs against the *same* seeded
+world (identical topology, link delays, workload placement, and failure
+schedule — the fairness guarantee of :mod:`repro.experiments.runner`),
+under the SimSanitizer. The harness then cross-checks facts that hold
+*between* strategies rather than within one run:
+
+* world identity — each strategy really did face the identical topology,
+  workload, failure schedule, and expected (message, subscriber) pairs;
+* ORACLE dominance — in a loss-only world the omniscient ORACLE delivers
+  a superset of what either tree baseline delivers, a superset of their
+  on-time pairs, and never with a larger delay on a commonly delivered
+  pair (time-invariant shortest paths dominate any fixed tree path);
+* sanitizer cleanliness — no strategy trips a runtime invariant, and the
+  ``sanity.*`` counters confirm the checks actually ran.
+
+The ORACLE checks are deliberately restricted to the loss-only world:
+under link *failures* the ORACLE's earliest-arrival search does not wait
+out a failure epoch at an intermediate broker, so path dominance across
+epochs is not a theorem there.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_environment
+
+SEED = 11
+
+CORE_STRATEGIES = ("DCRD", "R-Tree", "D-Tree", "ORACLE", "Multipath")
+
+#: Pure-loss world: links never fail, frames are only randomly lost.
+LOSS_CONFIG = ExperimentConfig(
+    topology_kind="regular",
+    degree=5,
+    num_nodes=16,
+    num_topics=4,
+    failure_probability=0.0,
+    loss_rate=0.02,
+    m=1,
+    duration=8.0,
+    drain=4.0,
+    sanitize=True,
+)
+
+#: Failure world: transient link failures on top of mild random loss.
+FAILURE_CONFIG = ExperimentConfig(
+    topology_kind="regular",
+    degree=5,
+    num_nodes=16,
+    num_topics=4,
+    failure_probability=0.08,
+    loss_rate=0.01,
+    m=2,
+    duration=8.0,
+    drain=4.0,
+    sanitize=True,
+)
+
+
+def _run_world(config):
+    """Execute every core strategy against *config*; keep env + summary."""
+    runs = {}
+    for name in CORE_STRATEGIES:
+        env = build_environment(config, name, SEED)
+        runs[name] = (env, env.execute())
+    return runs
+
+
+@pytest.fixture(scope="module")
+def loss_world():
+    return _run_world(LOSS_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def failure_world():
+    return _run_world(FAILURE_CONFIG)
+
+
+def _delivered(env):
+    return {
+        (o.msg_id, o.subscriber)
+        for o in env.ctx.metrics.outcomes()
+        if o.delivered
+    }
+
+
+def _on_time(env):
+    return {
+        (o.msg_id, o.subscriber)
+        for o in env.ctx.metrics.outcomes()
+        if o.on_time
+    }
+
+
+def _delays(env):
+    return {
+        (o.msg_id, o.subscriber): o.delay
+        for o in env.ctx.metrics.outcomes()
+        if o.delivered
+    }
+
+
+def _world_signature(env):
+    """Everything strategy-independent about a run's world."""
+    topology = env.ctx.topology
+    workload = env.ctx.workload
+    return {
+        "nodes": tuple(topology.nodes),
+        "links": {edge: topology.delay(*edge) for edge in topology.edges()},
+        "topics": tuple(
+            (spec.topic, spec.publisher, tuple(sorted(spec.subscriber_nodes)))
+            for spec in workload.topics
+        ),
+        "pairs": frozenset(
+            (o.msg_id, o.subscriber) for o in env.ctx.metrics.outcomes()
+        ),
+        "deadlines": {
+            (o.msg_id, o.subscriber): o.deadline
+            for o in env.ctx.metrics.outcomes()
+        },
+    }
+
+
+@pytest.mark.parametrize("world_name", ["loss_world", "failure_world"])
+def test_identical_worlds_across_strategies(world_name, request):
+    """Same seed => every strategy faced byte-identical surroundings."""
+    runs = request.getfixturevalue(world_name)
+    reference = _world_signature(runs["DCRD"][0])
+    for name, (env, summary) in runs.items():
+        assert _world_signature(env) == reference, name
+        assert summary.messages_published == runs["DCRD"][1].messages_published
+        assert (
+            summary.expected_deliveries == runs["DCRD"][1].expected_deliveries
+        )
+
+
+@pytest.mark.parametrize("world_name", ["loss_world", "failure_world"])
+def test_all_strategies_sanitizer_clean(world_name, request):
+    """No strategy violates a runtime invariant; checks actually ran."""
+    runs = request.getfixturevalue(world_name)
+    for name, (env, summary) in runs.items():
+        assert summary.perf["sanity.violations"] == 0, name
+        assert summary.perf["sanity.events_checked"] > 0, name
+        assert summary.perf["sanity.accepts_checked"] > 0, name
+        # Conservation ran: every expected pair got classified somewhere,
+        # and the categories sum back up to the expectation count.
+        classified = sum(
+            value
+            for key, value in summary.perf.items()
+            if key.startswith("sanity.pairs_")
+        )
+        assert classified == float(summary.expected_deliveries), name
+        assert summary.perf["sanity.pairs_leaked"] == 0, name
+
+
+@pytest.mark.parametrize("tree", ["R-Tree", "D-Tree"])
+def test_oracle_delivery_superset_in_loss_only_world(tree, loss_world):
+    """ORACLE delivers (at least) everything a fixed tree delivers."""
+    oracle = _delivered(loss_world["ORACLE"][0])
+    assert _delivered(loss_world[tree][0]) <= oracle
+
+
+@pytest.mark.parametrize("tree", ["R-Tree", "D-Tree"])
+def test_oracle_on_time_superset_in_loss_only_world(tree, loss_world):
+    """ORACLE's on-time pairs dominate any fixed tree's on-time pairs."""
+    oracle = _on_time(loss_world["ORACLE"][0])
+    assert _on_time(loss_world[tree][0]) <= oracle
+
+
+@pytest.mark.parametrize("tree", ["R-Tree", "D-Tree"])
+def test_oracle_delay_dominance_in_loss_only_world(tree, loss_world):
+    """On commonly delivered pairs, ORACLE is never slower than a tree."""
+    oracle_delays = _delays(loss_world["ORACLE"][0])
+    tree_delays = _delays(loss_world[tree][0])
+    common = set(oracle_delays) & set(tree_delays)
+    assert common, "worlds too small: no commonly delivered pairs"
+    for pair in common:
+        assert oracle_delays[pair] <= tree_delays[pair] + 1e-9, pair
+
+
+def test_reliable_strategies_deliver_everything_in_loss_only_world(loss_world):
+    """With no failures, retransmitting strategies approach ratio 1.0.
+
+    ORACLE is lossless by construction; DCRD recovers random losses via
+    upstream custody, so both must deliver every expected pair here.
+    """
+    for name in ("ORACLE", "DCRD"):
+        _, summary = loss_world[name]
+        assert summary.delivery_ratio == pytest.approx(1.0), name
+
+
+def test_sanitized_run_matches_unsanitized(loss_world):
+    """The sanitizer observes without perturbing: summaries are identical."""
+    _, sanitized = loss_world["DCRD"]
+    plain = build_environment(
+        LOSS_CONFIG.with_updates(sanitize=False), "DCRD", SEED
+    ).execute()
+    a = dict(sanitized.as_dict())
+    b = dict(plain.as_dict())
+    # perf legitimately differs: the sanitized run adds sanity.* counters.
+    a.pop("perf", None)
+    b.pop("perf", None)
+    assert a == b

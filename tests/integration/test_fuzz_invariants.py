@@ -1,20 +1,30 @@
 """Property fuzz: random worlds, every strategy, universal invariants.
 
-Hypothesis drives random (topology, hazard, workload, protocol) settings
-through full simulations of every registered strategy and asserts the
-invariants no configuration may violate:
+Hypothesis drives random (topology, hazard, workload, protocol, queueing)
+settings through full simulations of every registered strategy — core and
+extensions alike — and asserts the invariants no configuration may
+violate:
 
 * the run terminates and drains its event queue;
 * delivered <= expected, on_time <= delivered; ratios in [0, 1];
 * every delivered outcome has non-negative delay and hops >= 1 (except
   publisher-local deliveries);
 * traffic counters are consistent (sent >= delivered per frame kind);
-* the run is reproducible: a second run with the same seed matches.
+* the run is reproducible: a second run with the same seed matches, and a
+  *sanitized* run matches too (the sanitizer observes, never perturbs).
+
+Every fuzzed world runs under the SimSanitizer (``sanitize=True``), so the
+whole invariant suite of :mod:`repro.sanity` — event-order, path-cycle,
+duplicate-delivery, timer-lifecycle, Theorem-1 order, conservation — is
+enforced inside every example on top of the explicit assertions below.
 """
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+# Imported for its side effect: registers the extension strategies so the
+# fuzz matrix below is the same regardless of test-collection order.
+import repro.extensions  # noqa: F401
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import STRATEGIES, build_environment
 from repro.overlay.links import FrameKind
@@ -30,6 +40,13 @@ configs = st.fixed_dictionaries(
         "m": st.sampled_from([1, 2]),
         "deadline_factor": st.sampled_from([1.5, 3.0]),
         "num_topics": st.sampled_from([2, 4]),
+        # Finite-capacity links: FIFO and EDF disciplines, including the
+        # EDF overload policy that drops already-expired frames.
+        "link_service_time": st.sampled_from([None, 0.0005]),
+        "queue_discipline": st.sampled_from(["fifo", "edf"]),
+        "edf_drop_expired": st.booleans(),
+        # Per-topic urgency classes (the priority extension's workload).
+        "deadline_factor_choices": st.sampled_from([None, (1.5, 3.0, 6.0)]),
     }
 )
 
@@ -37,7 +54,7 @@ configs = st.fixed_dictionaries(
 def build_config(params) -> ExperimentConfig:
     if params["topology_kind"] == "full_mesh":
         params = dict(params, degree=None)
-    return ExperimentConfig(duration=6.0, drain=4.0, **params)
+    return ExperimentConfig(duration=6.0, drain=4.0, sanitize=True, **params)
 
 
 @settings(
@@ -56,6 +73,11 @@ def test_universal_invariants(strategy, params, seed):
     # processes' cancelled events.
     assert env.ctx.sim.now == config.end_time
 
+    # The sanitizer really ran and found nothing (it raises on the first
+    # violation, but the counter doubles as a liveness check).
+    assert summary.perf["sanity.violations"] == 0
+    assert summary.perf["sanity.events_checked"] > 0
+
     # Accounting sanity.
     assert 0 <= summary.on_time <= summary.delivered <= summary.expected_deliveries
     assert 0.0 <= summary.qos_delivery_ratio <= summary.delivery_ratio <= 1.0
@@ -71,11 +93,14 @@ def test_universal_invariants(strategy, params, seed):
             if outcome.hops is not None:
                 assert outcome.hops >= 0
 
-    # Hazard-free worlds must be perfect for every strategy.
+    # Hazard-free worlds with infinite-capacity links must be perfect for
+    # every strategy. (Finite capacity is excluded: queueing can push a
+    # frame past an ARQ timeout or — under edf_drop_expired — drop it.)
     if (
         config.failure_probability == 0.0
         and config.loss_rate == 0.0
         and config.node_failure_probability == 0.0
+        and config.link_service_time is None
     ):
         assert summary.delivery_ratio == pytest.approx(1.0)
 
@@ -83,7 +108,18 @@ def test_universal_invariants(strategy, params, seed):
 @settings(max_examples=6, deadline=None)
 @given(params=configs, seed=st.integers(min_value=0, max_value=999))
 def test_bitwise_reproducibility(params, seed):
-    config = build_config(params)
+    config = build_config(params).with_updates(sanitize=False)
     first = build_environment(config, "DCRD", seed).execute()
     second = build_environment(config, "DCRD", seed).execute()
     assert first.as_dict() == second.as_dict()
+
+    # Observation-only: the sanitized run differs solely by its sanity.*
+    # perf counters.
+    sanitized = build_environment(
+        config.with_updates(sanitize=True), "DCRD", seed
+    ).execute()
+    a = dict(first.as_dict())
+    b = dict(sanitized.as_dict())
+    a.pop("perf", None)
+    b.pop("perf", None)
+    assert a == b

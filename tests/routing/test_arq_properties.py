@@ -1,0 +1,118 @@
+"""Property tests for the static ACK-timeout policy's memoisation.
+
+:class:`~repro.routing.arq.MonitorTimeoutPolicy` sits on the data-plane
+hot path and caches its per-direction answer until the link monitor
+publishes a new estimate (``monitor.version``). The cache is only correct
+if it is *transparent*: under any interleaving of queries and monitor
+refreshes, the memoised answer must equal the unmemoised computation
+``params.ack_timeout(monitor.estimate(src, dst).alpha)`` — and the cache
+must actually cache (one estimate lookup per direction per version).
+"""
+
+from types import SimpleNamespace
+
+from hypothesis import given, strategies as st
+
+from repro.routing.arq import MonitorTimeoutPolicy
+from repro.routing.base import ProtocolParams
+
+
+class StubMonitor:
+    """A monitor double: per-direction alphas plus an explicit version."""
+
+    def __init__(self, alphas):
+        self.alphas = dict(alphas)
+        self.version = 0
+        self.estimate_calls = 0
+
+    def estimate(self, src, dst):
+        self.estimate_calls += 1
+        return SimpleNamespace(alpha=self.alphas[(src, dst)])
+
+    def refresh(self, alphas):
+        self.alphas = dict(alphas)
+        self.version += 1
+
+
+links = st.tuples(
+    st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=5)
+).filter(lambda pair: pair[0] != pair[1])
+
+alpha_maps = st.dictionaries(
+    links,
+    st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+params_strategy = st.builds(
+    ProtocolParams,
+    m=st.integers(min_value=1, max_value=3),
+    ack_timeout_factor=st.floats(min_value=0.1, max_value=10.0),
+    ack_timeout_slack=st.floats(min_value=0.0, max_value=0.1),
+)
+
+
+def _policy(monitor, params):
+    return MonitorTimeoutPolicy(SimpleNamespace(monitor=monitor, params=params))
+
+
+@given(alphas=alpha_maps, params=params_strategy)
+def test_memoised_answer_equals_direct_computation(alphas, params):
+    monitor = StubMonitor(alphas)
+    policy = _policy(monitor, params)
+    for (src, dst), alpha in alphas.items():
+        expected = params.ack_timeout(alpha)
+        # First query computes, second must serve the identical cached value.
+        assert policy.timeout(src, dst) == expected
+        assert policy.timeout(src, dst) == expected
+
+
+@given(alphas=alpha_maps, params=params_strategy, repeats=st.integers(2, 5))
+def test_cache_hits_do_not_requery_the_monitor(alphas, params, repeats):
+    monitor = StubMonitor(alphas)
+    policy = _policy(monitor, params)
+    for _ in range(repeats):
+        for src, dst in alphas:
+            policy.timeout(src, dst)
+    # Exactly one estimate() per direction, however many queries.
+    assert monitor.estimate_calls == len(alphas)
+
+
+@given(
+    first=alpha_maps,
+    second=alpha_maps,
+    params=params_strategy,
+)
+def test_version_bump_invalidates_the_cache(first, second, params):
+    # Both alpha maps must cover the same directions for the comparison.
+    directions = set(first)
+    second = {key: second.get(key, 0.5) for key in directions}
+    monitor = StubMonitor(first)
+    policy = _policy(monitor, params)
+    for src, dst in directions:
+        assert policy.timeout(src, dst) == params.ack_timeout(first[(src, dst)])
+    monitor.refresh(second)
+    for src, dst in directions:
+        assert policy.timeout(src, dst) == params.ack_timeout(second[(src, dst)])
+
+
+@given(alphas=alpha_maps, params=params_strategy)
+def test_refresh_without_change_keeps_answers_stable(alphas, params):
+    monitor = StubMonitor(alphas)
+    policy = _policy(monitor, params)
+    before = {key: policy.timeout(*key) for key in alphas}
+    monitor.refresh(alphas)  # same values, new version: cache must rebuild
+    after = {key: policy.timeout(*key) for key in alphas}
+    assert before == after
+
+
+@given(alphas=alpha_maps, params=params_strategy)
+def test_samples_are_ignored_by_the_static_policy(alphas, params):
+    monitor = StubMonitor(alphas)
+    policy = _policy(monitor, params)
+    before = {key: policy.timeout(*key) for key in alphas}
+    for src, dst in alphas:
+        policy.on_sample(src, dst, 123.456)
+    after = {key: policy.timeout(*key) for key in alphas}
+    assert before == after
