@@ -24,7 +24,9 @@ Examples
 from __future__ import annotations
 
 import argparse
+import re
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.experiments import figures as figure_drivers
@@ -38,7 +40,11 @@ from repro.experiments.report import (
     render_perf,
     render_sweep,
 )
-from repro.experiments.runner import DEFAULT_STRATEGIES, run_comparison
+from repro.experiments.runner import (
+    DEFAULT_STRATEGIES,
+    build_environment,
+    run_comparison,
+)
 from repro.experiments.sweeps import sweep as run_sweep
 
 #: Swept axis -> (value parser, config overrides for one parsed value).
@@ -72,6 +78,16 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         help="run under the SimSanitizer (repro.sanity): live invariant "
         "checks + end-of-drain conservation accounting (slower)",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="run under the FrameTracer (repro.trace) and, for compare, "
+        "export one JSONL lifecycle trace per strategy; PATH may contain "
+        "a {strategy} placeholder (default: trace-<strategy>.jsonl)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
@@ -86,13 +102,38 @@ def _config_from(args: argparse.Namespace) -> ExperimentConfig:
         m=args.m,
         duration=args.duration,
         sanitize=args.sanitize,
+        trace=args.trace is not None,
     )
+
+
+def _trace_path(arg: str, strategy: str) -> Path:
+    """Resolve the per-strategy JSONL path for ``--trace[=PATH]``."""
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", strategy)
+    if not arg:
+        return Path(f"trace-{slug}.jsonl")
+    if "{strategy}" in arg:
+        return Path(arg.replace("{strategy}", slug))
+    path = Path(arg)
+    return path.with_name(f"{path.stem}-{slug}{path.suffix or '.jsonl'}")
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
     config = _config_from(args)
     print(f"Configuration: {config.describe()} (seed={args.seed})")
-    results = run_comparison(config, seed=args.seed, strategies=args.strategies)
+    if args.trace is None:
+        results = run_comparison(
+            config, seed=args.seed, strategies=args.strategies
+        )
+    else:
+        # Tracing: keep each environment around so its tracer can be
+        # exported after the run (run_comparison only returns summaries).
+        results = {}
+        for name in args.strategies:
+            env = build_environment(config, name, args.seed)
+            results[name] = env.execute()
+            path = _trace_path(args.trace, name)
+            env.tracer.export_jsonl(path)
+            print(f"[trace written to {path}]")
     print(render_comparison(results))
     if args.perf:
         print()

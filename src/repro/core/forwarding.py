@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro import sanity as _sanity
+from repro import trace as _trace
 from repro.core.computation import ControlPlaneSolver, DrTable, compute_dr_table
 from repro.perf import PerfStats
 from repro.pubsub.messages import AckFrame, PacketFrame
@@ -121,9 +122,14 @@ class _DeliveryTask:
         hop_of_copy = self._hop_of_copy
         node = self.node
         frame = self.frame
+        tracer = _trace.ACTIVE
         for hop, dests in groups.items():
             copy = frame.forwarded(node, frozenset(dests))
             hop_of_copy[copy.transfer_id] = hop
+            if tracer is not None and hop == bounce:
+                # The upstream fallback won over every sending-list
+                # candidate: this copy is a §III-D bounce.
+                tracer.on_bounce(strategy.ctx.sim._now, node, hop, copy)
             arq_send(node, hop, copy, self._on_acked, self._on_failed)
 
     # ------------------------------------------------------------------
@@ -138,6 +144,10 @@ class _DeliveryTask:
         """m transmissions went unACKed: mark the hop dead, re-dispatch."""
         hop = self._hop_of_copy.pop(copy.transfer_id)
         self.failed_neighbors.add(hop)
+        if _trace.ACTIVE is not None:
+            _trace.ACTIVE.on_failover(
+                self.strategy.ctx.sim._now, self.node, hop, copy
+            )
         self._dispatch(copy.destinations)
 
 
@@ -328,6 +338,8 @@ class DcrdStrategy(RoutingStrategy):
         packet instead of dropping it (§III's persistency mode).
         """
         self.abandoned += 1
+        if _trace.ACTIVE is not None:
+            _trace.ACTIVE.on_abandon(self.ctx.sim._now, node, frame, subscriber)
         self.ctx.metrics.record_give_up(frame.msg_id, subscriber)
 
     def _deliver_local_at_origin(

@@ -81,6 +81,11 @@ class ExperimentConfig:
     # event trace is bit-identical either way — but costs time and memory,
     # so it defaults to off.
     sanitize: bool = False
+    # Run under the FrameTracer (repro.trace): ring-buffered per-frame
+    # lifecycle events (publish, transmit, ack, failover, deliver, ...)
+    # queryable after the run and exportable as JSONL. Observation-only,
+    # same bit-identical guarantee as the sanitizer; defaults to off.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         require(self.num_nodes >= 2, "num_nodes must be >= 2")

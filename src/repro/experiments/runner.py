@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro import sanity as _sanity
+from repro import trace as _trace
 from repro.core.forwarding import DcrdStrategy
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.collector import MetricsCollector
@@ -104,6 +105,7 @@ class SimulationEnvironment:
     publishers: List[PublisherProcess]
     monitor_process: PeriodicProcess
     sanitizer: Optional[_sanity.Sanitizer] = None
+    tracer: Optional[_trace.FrameTracer] = None
 
     def execute(self) -> MetricsSummary:
         """Run to the configured end time and summarise.
@@ -112,20 +114,27 @@ class SimulationEnvironment:
         installed for the duration of the run; invariant violations raise
         :class:`~repro.sanity.InvariantViolation` mid-run, and the
         end-of-drain checks (timer orphans, frame conservation) run before
-        the summary is assembled.
+        the summary is assembled. With ``config.trace`` on, the
+        environment's :class:`~repro.trace.FrameTracer` is installed for
+        the run *and* through the sanitizer's end-of-drain checks, so
+        orphan/conservation violations still capture trace excerpts.
         """
-        # Assign unconditionally: a stale sanitizer from an aborted run
-        # must never observe an unrelated (unsanitized) environment.
+        # Assign unconditionally: a stale sanitizer/tracer from an aborted
+        # run must never observe an unrelated environment.
         _sanity.install(self.sanitizer)
+        _trace.install(self.tracer)
         try:
-            for publisher in self.publishers:
-                publisher.start()
-            self.monitor_process.start()
-            self.ctx.sim.run(until=self.config.end_time)
+            try:
+                for publisher in self.publishers:
+                    publisher.start()
+                self.monitor_process.start()
+                self.ctx.sim.run(until=self.config.end_time)
+            finally:
+                _sanity.uninstall()
+            if self.sanitizer is not None:
+                self.sanitizer.finish(self.ctx.metrics, self.ctx.sim.now)
         finally:
-            _sanity.uninstall()
-        if self.sanitizer is not None:
-            self.sanitizer.finish(self.ctx.metrics, self.ctx.sim.now)
+            _trace.uninstall()
         return summarize(
             self.ctx.metrics,
             self.ctx.network.stats.data_sent(),
@@ -158,6 +167,8 @@ class SimulationEnvironment:
         perf["monitor.refreshes"] = float(self.ctx.monitor.refreshes)
         if self.sanitizer is not None:
             perf.update(self.sanitizer.perf_counters())
+        if self.tracer is not None:
+            perf.update(self.tracer.perf_counters())
         return perf
 
 
@@ -273,6 +284,7 @@ def build_environment(
         publishers=publishers,
         monitor_process=monitor_process,
         sanitizer=sanitizer,
+        tracer=_trace.FrameTracer() if config.trace else None,
     )
 
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import sanity as _sanity
+from repro import trace as _trace
 from repro.overlay.failures import FailureSchedule, NodeFailureSchedule
 from repro.overlay.topology import Topology, canonical_edge
 from repro.sim.engine import Simulator
@@ -388,9 +389,19 @@ class OverlayNetwork:
             _sanity.ACTIVE.on_data_transmit(
                 src, dst, frame, survived, None if survived else cause
             )
+        # Tracer hook (observation-only, DATA frames only; ACK arrivals are
+        # traced at the ARQ layer where they are matched to their copy).
+        tracer = _trace.ACTIVE
+        if tracer is not None and kind is not FrameKind.DATA:
+            tracer = None
         if survived:
             if self._queueing and kind is FrameKind.DATA:
                 if self._edf:
+                    if tracer is not None:
+                        # The EDF server decides the wait later (queue=None).
+                        tracer.on_transmit(
+                            now, src, dst, frame, True, None, entry[0], None
+                        )
                     # Delivery is scheduled by the per-direction EDF server.
                     self._edf_enqueue(src, dst, frame, kind, size)
                     delay = None
@@ -403,7 +414,16 @@ class OverlayNetwork:
                         start = now
                     finish = start + self.service_time * size
                     self._busy_until[key] = finish
+                    if tracer is not None:
+                        wait = start - now
+                        tracer.on_transmit(
+                            now, src, dst, frame, True, None, entry[0], wait
+                        )
+                        if wait > 0.0:
+                            tracer.on_enqueue(now, src, dst, frame, wait)
                     delay = (finish - now) + delay
+            elif tracer is not None:
+                tracer.on_transmit(now, src, dst, frame, True, None, entry[0], 0.0)
             if delay is not None:
                 # Deliveries are never cancelled: inlined sim.schedule_fire
                 # (link delays are positive by construction, so the
@@ -419,6 +439,8 @@ class OverlayNetwork:
                     ),
                 )
                 sim._live += 1
+        elif tracer is not None:
+            tracer.on_transmit(now, src, dst, frame, False, cause, entry[0], None)
         if self._trace:
             self.transmissions.append(Transmission(now, src, dst, kind, survived))
         return survived
@@ -428,19 +450,33 @@ class OverlayNetwork:
         node_failures = self.node_failures
         if node_failures is not None and node_failures.is_failed(dst, self.sim._now):
             self.stats.lost_node_down[kind] += 1
-            if _sanity.ACTIVE is not None and kind is FrameKind.DATA:
-                _sanity.ACTIVE.on_frame_lost(frame, "node_down_arrival")
+            if kind is FrameKind.DATA:
+                if _sanity.ACTIVE is not None:
+                    _sanity.ACTIVE.on_frame_lost(frame, "node_down_arrival")
+                if _trace.ACTIVE is not None:
+                    _trace.ACTIVE.on_arrival_drop(
+                        self.sim._now, src, dst, frame, "node_down_arrival"
+                    )
             return
         # The cached handler is current: attach/detach clear the cache.
         entry = self._dir_cache.get((src << 21) | dst)
         handler = entry[2] if entry is not None else self._handlers.get(dst)
         if handler is None:
-            if _sanity.ACTIVE is not None and kind is FrameKind.DATA:
-                _sanity.ACTIVE.on_frame_lost(frame, "no_handler")
+            if kind is FrameKind.DATA:
+                if _sanity.ACTIVE is not None:
+                    _sanity.ACTIVE.on_frame_lost(frame, "no_handler")
+                if _trace.ACTIVE is not None:
+                    _trace.ACTIVE.on_arrival_drop(
+                        self.sim._now, src, dst, frame, "no_handler"
+                    )
             return
         self.stats.delivered[kind] += 1
-        if _sanity.ACTIVE is not None and kind is FrameKind.DATA:
-            _sanity.ACTIVE.on_frame_delivered(frame)
+        if kind is FrameKind.DATA:
+            if _sanity.ACTIVE is not None:
+                _sanity.ACTIVE.on_frame_delivered(frame)
+            tracer = _trace.ACTIVE
+            if tracer is not None:
+                tracer.on_arrive(self.sim._now, src, dst, frame)
         handler(src, frame)
 
     # ------------------------------------------------------------------
@@ -478,6 +514,8 @@ class OverlayNetwork:
                 self._edf_queued_size[key] -= size
                 if _sanity.ACTIVE is not None:
                     _sanity.ACTIVE.on_frame_expired(dropped)
+                if _trace.ACTIVE is not None:
+                    _trace.ACTIVE.on_expire(now, key[0], key[1], dropped)
                 if self._trace:
                     self.transmissions.append(
                         Transmission(now, key[0], key[1], kind, False, expired=True)

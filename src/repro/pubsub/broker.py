@@ -23,6 +23,7 @@ from collections import deque
 from typing import Deque, Dict, Set
 
 from repro import sanity as _sanity
+from repro import trace as _trace
 from repro.overlay.links import FrameKind
 from repro.pubsub.messages import AckFrame, PacketFrame
 from repro.routing.base import RoutingStrategy, RuntimeContext
@@ -97,6 +98,8 @@ class BrokerRuntime:
         seen = self._seen
         if key in seen:
             self.duplicates_suppressed += 1
+            if _trace.ACTIVE is not None:
+                _trace.ACTIVE.on_dedup_discard(self._sim._now, node, sender, frame)
             return
         seen.add(key)
         order = self._seen_order
@@ -124,6 +127,8 @@ class BrokerRuntime:
                 )
                 if first:
                     self.local_deliveries += 1
+                    if _trace.ACTIVE is not None:
+                        _trace.ACTIVE.on_deliver(self._sim._now, node, frame)
             destinations = destinations - {node}
             if not destinations:
                 return

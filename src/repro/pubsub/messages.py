@@ -30,6 +30,8 @@ from __future__ import annotations
 import itertools
 from typing import FrozenSet, Optional, Tuple
 
+from repro import trace as _trace
+
 _message_counter = itertools.count(1)
 _transfer_counter = itertools.count(1)
 
@@ -165,7 +167,7 @@ class PacketFrame:
         priority: float = _INF,
     ) -> "PacketFrame":
         """Create a brand-new copy with its own transfer id."""
-        return PacketFrame(
+        frame = PacketFrame(
             msg_id,
             next_transfer_id(),
             topic,
@@ -179,6 +181,10 @@ class PacketFrame:
             size,
             priority,
         )
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.on_publish(frame)
+        return frame
 
     def forwarded(
         self,
@@ -209,6 +215,9 @@ class PacketFrame:
         copy.fragments_needed = self.fragments_needed
         copy.size = self.size
         copy.priority = self.priority if priority is None else priority
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            tracer.on_fork(self.transfer_id, copy.transfer_id)
         return copy
 
     def with_destinations(self, destinations: FrozenSet[int]) -> "PacketFrame":

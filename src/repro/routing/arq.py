@@ -32,6 +32,7 @@ from heapq import heappush as _heappush
 from typing import Callable, Dict, Optional, Protocol, Tuple
 
 from repro import sanity as _sanity
+from repro import trace as _trace
 from repro.overlay.links import FrameKind
 from repro.pubsub.messages import AckFrame, PacketFrame
 from repro.routing.base import RuntimeContext
@@ -181,6 +182,8 @@ class ArqSender:
             # else: test mutation — leak the timer so the end-of-run
             # orphan check must catch it.
         self.acked += 1
+        if _trace.ACTIVE is not None:
+            _trace.ACTIVE.on_ack(self._sim._now, node, sender, entry.frame)
         if self._rtt_sampling and entry.attempts == 1:
             # Karn's rule: only first-attempt ACKs give unambiguous RTTs.
             self.timeout_policy.on_sample(
@@ -207,7 +210,7 @@ class ArqSender:
         _heappush(self._sim_heap, (time, seq, event))
         sim._live += 1
         if _sanity.ACTIVE is not None:
-            _sanity.ACTIVE.on_timer_started(seq, time)
+            _sanity.ACTIVE.on_timer_started(seq, time, entry.frame)
 
     def _on_timeout(self, entry: _Outstanding) -> None:
         if entry.frame.transfer_id not in self._outstanding:
@@ -217,6 +220,15 @@ class ArqSender:
             # transfer already settled must NOT count as the settlement
             # (that is exactly how a leaked cancel shows up as an orphan).
             _sanity.ACTIVE.on_timer_fired(entry.event.seq)
+        if _trace.ACTIVE is not None:
+            _trace.ACTIVE.on_ack_timeout(
+                self._sim._now,
+                entry.src,
+                entry.dst,
+                entry.frame,
+                entry.attempts,
+                entry.attempts < self._m,
+            )
         if entry.attempts < self._m:
             self._transmit(entry)
             return

@@ -54,6 +54,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro import trace as _trace
 from repro.core.sending_list import theorem1_key
 from repro.util.errors import ReproError
 
@@ -115,6 +116,13 @@ class InvariantViolation(ReproError):
         self.kind = kind
         self.details = details or {}
         self.frames = frames
+        # When a FrameTracer is installed alongside the sanitizer, snapshot
+        # the offending frames' lifecycle excerpt at raise time (the tracer
+        # ring buffer keeps rotating afterwards).
+        self.trace_excerpt: Tuple[str, ...] = ()
+        tracer = _trace.ACTIVE
+        if tracer is not None:
+            self.trace_excerpt = tracer.excerpt(frames=frames)
         super().__init__(f"[{kind}] {message}")
 
     def report(self) -> str:
@@ -124,6 +132,10 @@ class InvariantViolation(ReproError):
             lines.append(f"  {key}: {self.details[key]!r}")
         for frame in self.frames:
             lines.append(f"  frame: {_describe_frame(frame)}")
+        if self.trace_excerpt:
+            lines.append("  trace excerpt:")
+            for line in self.trace_excerpt:
+                lines.append(f"    {line}")
         return "\n".join(lines)
 
 
@@ -352,10 +364,16 @@ class Sanitizer:
     # ------------------------------------------------------------------
     # ARQ (routing/arq.py)
     # ------------------------------------------------------------------
-    def on_timer_started(self, token: int, deadline: float) -> None:
-        """An ACK-timeout event was pushed into the calendar queue."""
+    def on_timer_started(
+        self, token: int, deadline: float, frame: Any = None
+    ) -> None:
+        """An ACK-timeout event was pushed into the calendar queue.
+
+        ``frame`` (the outstanding copy the timer guards) is optional and
+        only used to attach a trace excerpt to orphan-timer violations.
+        """
         self.timers_started += 1
-        self._timers[token] = [deadline, _PENDING]
+        self._timers[token] = [deadline, _PENDING, frame]
 
     def on_timer_cancelled(self, token: int) -> None:
         """The ACK arrived first; the timer was cancelled."""
@@ -457,11 +475,13 @@ class Sanitizer:
         ]
         if orphans:
             token, deadline = orphans[0]
+            frame = self._timers[token][2]
             self._violate(
                 TIMER_ORPHAN,
                 f"{len(orphans)} ARQ timer(s) due by t={now!r} were neither "
                 f"cancelled nor fired (first: token {token}, due "
                 f"t={deadline!r})",
+                frames=(frame,) if frame is not None else (),
                 orphans=len(orphans),
                 first_token=token,
                 first_deadline=deadline,

@@ -37,6 +37,7 @@ import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro import sanity as _sanity
+from repro import trace as _trace
 from repro.util.errors import SimulationError
 
 _heappush = heapq.heappush
@@ -269,9 +270,11 @@ class Simulator:
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
-        # Sanitizer hook, hoisted once per run(): None (the default) keeps
-        # the loop body at a single local load + identity check per event.
+        # Sanitizer/tracer hooks, hoisted once per run(): None (the default)
+        # keeps the loop body at a single local load + identity check per
+        # event.
         sanitizer = _sanity.ACTIVE
+        tracer = _trace.ACTIVE
         try:
             while heap:
                 entry = heap[0]
@@ -293,6 +296,8 @@ class Simulator:
                 self._live -= 1
                 if sanitizer is not None:
                     sanitizer.on_event_pop(entry[0], self._now)
+                if tracer is not None:
+                    tracer.sim_events += 1
                 self._now = entry[0]
                 if event is not None:
                     event.fired = True
@@ -316,6 +321,7 @@ class Simulator:
         """
         heap = self._heap
         sanitizer = _sanity.ACTIVE
+        tracer = _trace.ACTIVE
         while heap:
             entry = heapq.heappop(heap)
             if len(entry) == 3:
@@ -326,6 +332,8 @@ class Simulator:
                 self._live -= 1
                 if sanitizer is not None:
                     sanitizer.on_event_pop(entry[0], self._now)
+                if tracer is not None:
+                    tracer.sim_events += 1
                 self._now = entry[0]
                 event.fired = True
                 event.callback(*event.args)
@@ -333,6 +341,8 @@ class Simulator:
                 self._live -= 1
                 if sanitizer is not None:
                     sanitizer.on_event_pop(entry[0], self._now)
+                if tracer is not None:
+                    tracer.sim_events += 1
                 self._now = entry[0]
                 entry[2](*entry[3])
             self._processed += 1

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _trace_path, build_parser, main
+from repro.trace import load_jsonl
 
 FAST_COMPARE = [
     "compare",
@@ -70,6 +71,43 @@ def test_sweep_writes_csv(tmp_path, capsys):
     assert main(argv) == 0
     assert csv_path.exists()
     assert "strategy" in csv_path.read_text()
+
+
+def test_compare_trace_exports_queryable_jsonl(tmp_path, capsys, monkeypatch):
+    """--trace writes one JSONL per strategy; journeys reconstruct offline."""
+    monkeypatch.chdir(tmp_path)
+    argv = FAST_COMPARE + ["--trace", "--seed", "7"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "[trace written to trace-DCRD.jsonl]" in out
+    assert "[trace written to trace-D-Tree.jsonl]" in out
+    for name in ("trace-DCRD.jsonl", "trace-D-Tree.jsonl"):
+        tracer = load_jsonl(str(tmp_path / name))
+        assert tracer.events_recorded > 0
+        delivered = {
+            (e.msg, e.node) for e in tracer.events() if e.kind == "deliver"
+        }
+        assert delivered
+        for msg, subscriber in delivered:
+            journey = tracer.journey(msg, subscriber)
+            assert journey.chain[-1] == subscriber
+            for previous, current in zip(journey.hops, journey.hops[1:]):
+                assert previous.dst == current.src
+
+
+def test_compare_trace_custom_path(tmp_path, capsys):
+    target = tmp_path / "run.jsonl"
+    argv = FAST_COMPARE[:-1] + ["--trace", str(target)]  # DCRD only
+    assert main(argv) == 0
+    assert (tmp_path / "run-DCRD.jsonl").exists()
+
+
+def test_trace_path_resolution():
+    assert str(_trace_path("", "DCRD")) == "trace-DCRD.jsonl"
+    assert str(_trace_path("out/{strategy}.jsonl", "D-Tree")) == "out/D-Tree.jsonl"
+    assert str(_trace_path("runs/full.jsonl", "DCRD+persist")) == (
+        "runs/full-DCRD-persist.jsonl"
+    )
 
 
 def test_figure_subcommand_runs(capsys):

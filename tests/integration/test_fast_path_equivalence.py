@@ -80,9 +80,10 @@ CELLS = [
 ]
 
 
-def _run(config_name: str, strategy: str, seed: int):
+def _run(config_name: str, strategy: str, seed: int, **overrides):
     """Execute one cell; returns the environment (post-run) and its summary."""
-    env = build_environment(ExperimentConfig(**CONFIGS[config_name]), strategy, seed)
+    config = ExperimentConfig(**CONFIGS[config_name]).with_updates(**overrides)
+    env = build_environment(config, strategy, seed)
     return env, env.execute()
 
 
@@ -112,6 +113,21 @@ def _digest(env, summary) -> dict:
 def test_matches_pre_fast_path_reference(config_name, strategy, seed):
     """Every cell reproduces the recorded pre-change trace exactly."""
     got = _digest(*_run(config_name, strategy, seed))
+    want = REFERENCE[f"{config_name}/{strategy}/seed{seed}"]
+    assert got == want
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+@pytest.mark.parametrize("config_name,strategy", CELLS)
+def test_traced_runs_match_reference(config_name, strategy, seed):
+    """The FrameTracer observes only: every traced cell still reproduces
+    the pre-change fingerprint exactly (same event interleaving, same RNG
+    draw order, same per-message outcomes — only trace.* perf differs,
+    and the digest excludes perf)."""
+    env, summary = _run(config_name, strategy, seed, trace=True)
+    assert env.tracer is not None
+    assert env.tracer.events_recorded > 0
+    got = _digest(env, summary)
     want = REFERENCE[f"{config_name}/{strategy}/seed{seed}"]
     assert got == want
 

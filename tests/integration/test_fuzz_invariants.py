@@ -17,7 +17,19 @@ Every fuzzed world runs under the SimSanitizer (``sanitize=True``), so the
 whole invariant suite of :mod:`repro.sanity` — event-order, path-cycle,
 duplicate-delivery, timer-lifecycle, Theorem-1 order, conservation — is
 enforced inside every example on top of the explicit assertions below.
+
+The worlds also run under the FrameTracer (``trace=True``), adding the
+trace-level properties:
+
+* every delivered pair's :meth:`~repro.trace.FrameTracer.journey` is a
+  contiguous hop chain ending at the subscriber (and, for non-persistency
+  strategies, starting at the publisher);
+* its :meth:`~repro.trace.FrameTracer.delay_breakdown` components are
+  non-negative and sum *exactly* (``==`` under ``math.fsum``, not
+  ``approx``) to the recorded delivery delay.
 """
+
+import math
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -54,7 +66,9 @@ configs = st.fixed_dictionaries(
 def build_config(params) -> ExperimentConfig:
     if params["topology_kind"] == "full_mesh":
         params = dict(params, degree=None)
-    return ExperimentConfig(duration=6.0, drain=4.0, sanitize=True, **params)
+    return ExperimentConfig(
+        duration=6.0, drain=4.0, sanitize=True, trace=True, **params
+    )
 
 
 @settings(
@@ -93,6 +107,41 @@ def test_universal_invariants(strategy, params, seed):
             if outcome.hops is not None:
                 assert outcome.hops >= 0
 
+    # Trace-level properties: every delivered pair reconstructs to a
+    # contiguous journey whose delay decomposes exactly.
+    tracer = env.tracer
+    assert tracer is not None
+    assert tracer.events_dropped == 0  # worlds fit the ring buffer
+    for outcome in env.ctx.metrics.outcomes():
+        if not outcome.delivered:
+            continue
+        journey = tracer.journey(outcome.msg_id, outcome.subscriber)
+        assert journey.chain[-1] == outcome.subscriber
+        for previous, current in zip(journey.hops, journey.hops[1:]):
+            assert previous.dst == current.src
+        if "persist" not in strategy:
+            # Persistency-mode redeliveries legitimately restart at the
+            # custody broker; everything else must chain from the origin.
+            assert journey.complete
+            assert journey.chain[0] == journey.origin
+        breakdown = tracer.delay_breakdown(outcome.msg_id, outcome.subscriber)
+        assert breakdown.total == outcome.delay
+        assert breakdown.transmission >= 0.0
+        assert breakdown.queueing >= 0.0
+        assert breakdown.timeout_wait >= 0.0
+        assert breakdown.retransmission >= 0.0
+        assert (
+            math.fsum(
+                (
+                    breakdown.transmission,
+                    breakdown.queueing,
+                    breakdown.timeout_wait,
+                    breakdown.retransmission,
+                )
+            )
+            == outcome.delay
+        )
+
     # Hazard-free worlds with infinite-capacity links must be perfect for
     # every strategy. (Finite capacity is excluded: queueing can push a
     # frame past an ARQ timeout or — under edf_drop_expired — drop it.)
@@ -123,3 +172,12 @@ def test_bitwise_reproducibility(params, seed):
     a.pop("perf", None)
     b.pop("perf", None)
     assert a == b
+
+    # Same guarantee for the FrameTracer: a traced run differs solely by
+    # its trace.* perf counters.
+    traced = build_environment(
+        config.with_updates(trace=True), "DCRD", seed
+    ).execute()
+    c = dict(traced.as_dict())
+    c.pop("perf", None)
+    assert c == a

@@ -82,6 +82,36 @@ def test_violation_report_carries_context(skip_cancel_mutation):
     assert "first_token" in report
 
 
+def test_violation_report_embeds_trace_excerpt(skip_cancel_mutation):
+    """--sanitize --trace: the violation carries the offending frame's
+    lifecycle excerpt, captured at raise time from the installed tracer."""
+    with pytest.raises(InvariantViolation) as excinfo:
+        run_single(CONFIG.with_updates(trace=True), "DCRD", seed=3)
+    violation = excinfo.value
+    assert violation.kind == sanity.TIMER_ORPHAN
+    assert violation.frames  # the leaked timer's outstanding copy
+    assert violation.trace_excerpt
+    frame = violation.frames[0]
+    # Every excerpt line is about the offending frame, and its lifecycle
+    # (the transmit whose timer leaked) is actually in there.
+    assert all(
+        f"msg={frame.msg_id}" in line or f"transfer={frame.transfer_id}" in line
+        for line in violation.trace_excerpt
+    )
+    assert any("transmit" in line for line in violation.trace_excerpt)
+    report = violation.report()
+    assert "trace excerpt:" in report
+    assert violation.trace_excerpt[-1] in report
+
+
+def test_excerpt_absent_without_tracer(skip_cancel_mutation):
+    """Sanitize-only runs keep the old report shape (no excerpt section)."""
+    with pytest.raises(InvariantViolation) as excinfo:
+        run_single(CONFIG, "DCRD", seed=3)
+    assert excinfo.value.trace_excerpt == ()
+    assert "trace excerpt:" not in excinfo.value.report()
+
+
 @pytest.mark.parametrize(
     "flag", ["MUTATE_MISSORT_SENDING_LIST", "MUTATE_SKIP_TIMER_CANCEL"]
 )

@@ -1,0 +1,370 @@
+"""Unit tests for the FrameTracer (repro.trace).
+
+These drive the tracer directly with scripted hook calls — no simulator —
+so every query path (journeys, delay breakdowns, retransmission trees,
+excerpts, JSONL round-trips) is pinned against hand-computed expectations.
+The integration suites cover the hook *sites*; here the subject is the
+recorder itself.
+"""
+
+import io
+import math
+
+import pytest
+
+from repro import trace
+from repro.trace import (
+    ARRIVE,
+    DEFAULT_CAPACITY,
+    FrameTracer,
+    LINK_DROP,
+    PUBLISH,
+    TRANSMIT,
+    TraceError,
+    load_jsonl,
+)
+
+
+class FakeFrame:
+    """Just enough PacketFrame surface for the tracer hooks."""
+
+    def __init__(
+        self,
+        msg_id,
+        transfer_id,
+        origin=0,
+        publish_time=0.0,
+        destinations=frozenset({3}),
+        topic=7,
+        routing_path=(),
+        fragments_needed=0,
+        fragment_index=-1,
+    ):
+        self.msg_id = msg_id
+        self.transfer_id = transfer_id
+        self.origin = origin
+        self.publish_time = publish_time
+        self.destinations = destinations
+        self.topic = topic
+        self.routing_path = routing_path
+        self.fragments_needed = fragments_needed
+        self.fragment_index = fragment_index
+
+
+def scripted_two_hop_tracer():
+    """One message 0 -> 1 -> 2 with a lost first attempt on the second hop.
+
+    Timeline (all hand-picked):
+
+    * t=0.00  publish at node 0 (root transfer 1)
+    * t=0.00  transfer 2 (fork of 1) transmitted 0->1, prop 0.01
+    * t=0.01  transfer 2 arrives at 1
+    * t=0.02  transfer 3 (fork of 2) transmitted 1->2 — LOST
+    * t=0.05  transfer 3 retransmitted 1->2, prop 0.01
+    * t=0.06  transfer 3 arrives at 2; delivered to the local subscriber
+    """
+    tracer = FrameTracer()
+    root = FakeFrame(1, 1)
+    tracer.on_publish(root)
+    tracer.on_fork(1, 2)
+    hop1 = FakeFrame(1, 2, routing_path=(0,))
+    tracer.on_transmit(0.00, 0, 1, hop1, True, None, 0.01, 0.0)
+    tracer.on_arrive(0.01, 0, 1, hop1)
+    tracer.on_fork(2, 3)
+    hop2 = FakeFrame(1, 3, routing_path=(0, 1))
+    tracer.on_transmit(0.02, 1, 2, hop2, False, "loss", 0.01, 0.0)
+    tracer.on_ack_timeout(0.05, 1, 2, hop2, 1, True)
+    tracer.on_transmit(0.05, 1, 2, hop2, True, None, 0.01, 0.0)
+    tracer.on_arrive(0.06, 1, 2, hop2)
+    tracer.on_deliver(0.06, 2, hop2)
+    return tracer
+
+
+class TestRecording:
+    def test_ring_buffer_evicts_oldest_and_counts_drops(self):
+        tracer = FrameTracer(capacity=4)
+        for msg in range(6):
+            tracer.on_publish(FakeFrame(msg, msg + 10, publish_time=float(msg)))
+        events = tracer.events()
+        assert len(events) == 4
+        assert tracer.events_recorded == 6
+        assert tracer.events_dropped == 2
+        assert [e.msg for e in events] == [2, 3, 4, 5]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(TraceError):
+            FrameTracer(capacity=0)
+
+    def test_departure_loss_records_transmit_and_link_drop(self):
+        tracer = FrameTracer()
+        frame = FakeFrame(1, 2)
+        tracer.on_transmit(0.5, 0, 1, frame, False, "link_failed", 0.01, 0.0)
+        kinds = [e.kind for e in tracer.events()]
+        assert kinds == [TRANSMIT, LINK_DROP]
+        drop = tracer.events()[-1]
+        assert drop.info == {"cause": "link_failed"}
+
+    def test_bare_objects_without_transfer_id_are_ignored(self):
+        tracer = FrameTracer()
+        tracer.on_transmit(0.0, 0, 1, object(), True, None, 0.01, 0.0)
+        tracer.on_arrive(0.0, 0, 1, object())
+        assert tracer.events() == []
+
+    def test_events_for_filters_by_ids(self):
+        tracer = scripted_two_hop_tracer()
+        assert all(e.msg == 1 for e in tracer.events_for(msg_id=1))
+        assert {e.transfer for e in tracer.events_for(transfer_id=3)} == {3}
+        assert tracer.events_for(msg_id=99) == []
+
+    def test_parent_lineage(self):
+        tracer = scripted_two_hop_tracer()
+        assert tracer.parent(3) == 2
+        assert tracer.parent(2) == 1
+        assert tracer.parent(1) == -1
+
+    def test_perf_counters(self):
+        tracer = scripted_two_hop_tracer()
+        perf = tracer.perf_counters()
+        assert perf["trace.events_recorded"] == tracer.events_recorded
+        assert perf["trace.forks"] == 2.0
+        assert perf["trace.transmit"] == 3.0
+        assert perf["trace.link_drop"] == 1.0
+        assert perf["trace.deliver"] == 1.0
+
+
+class TestJourney:
+    def test_chain_and_hops(self):
+        tracer = scripted_two_hop_tracer()
+        journey = tracer.journey(1, 2)
+        assert journey.chain == (0, 1, 2)
+        assert journey.complete
+        assert journey.origin == 0
+        assert journey.total_delay == pytest.approx(0.06)
+        first, second = journey.hops
+        assert (first.src, first.dst, first.attempts) == (0, 1, 1)
+        assert (second.src, second.dst, second.attempts) == (1, 2, 2)
+        assert second.first_tx == 0.02
+        assert second.send_tx == 0.05  # the surviving attempt
+        assert second.arrival == 0.06
+
+    def test_publisher_local_delivery_is_a_trivial_journey(self):
+        tracer = FrameTracer()
+        tracer.on_publish(FakeFrame(4, 9, origin=5, publish_time=2.5))
+        journey = tracer.journey(4, 5)
+        assert journey.chain == (5,)
+        assert journey.hops == ()
+        assert journey.total_delay == 0.0
+        assert journey.complete
+
+    def test_unknown_pair_raises(self):
+        tracer = scripted_two_hop_tracer()
+        with pytest.raises(TraceError):
+            tracer.journey(1, 9)
+        with pytest.raises(TraceError):
+            tracer.journey(42, 2)
+
+    def test_retransmit_after_arrival_keeps_send_tx_at_first_arrival(self):
+        # DATA arrived but its ACK was lost: the sender retransmits a copy
+        # that already reached its receiver. The arriving attempt is still
+        # the first one — the late retransmit must not inflate the
+        # retransmission component.
+        tracer = FrameTracer()
+        tracer.on_publish(FakeFrame(1, 1))
+        tracer.on_fork(1, 2)
+        frame = FakeFrame(1, 2)
+        tracer.on_transmit(0.0, 0, 1, frame, True, None, 0.01, 0.0)
+        tracer.on_arrive(0.01, 0, 1, frame)
+        tracer.on_deliver(0.01, 1, frame)
+        tracer.on_ack_timeout(0.5, 0, 1, frame, 1, True)
+        tracer.on_transmit(0.5, 0, 1, frame, True, None, 0.01, 0.0)
+        tracer.on_arrive(0.51, 0, 1, frame)
+        journey = tracer.journey(1, 1)
+        (hop,) = journey.hops
+        assert hop.send_tx == 0.0
+        assert hop.arrival == 0.01
+        assert hop.attempts == 2
+        breakdown = tracer.delay_breakdown(1, 1)
+        assert breakdown.retransmission == 0.0
+
+
+class TestDelayBreakdown:
+    def test_components_match_hand_computation(self):
+        tracer = scripted_two_hop_tracer()
+        breakdown = tracer.delay_breakdown(1, 2)
+        assert breakdown.total == pytest.approx(0.06)
+        # Broker 1 held the frame 0.01s before first transmitting it.
+        assert breakdown.timeout_wait == pytest.approx(0.01)
+        # The lost attempt at 0.02 was recovered at 0.05.
+        assert breakdown.retransmission == pytest.approx(0.03)
+        assert breakdown.queueing == 0.0
+        assert breakdown.transmission == pytest.approx(0.02)
+
+    def test_components_sum_is_exact(self):
+        tracer = scripted_two_hop_tracer()
+        breakdown = tracer.delay_breakdown(1, 2)
+        assert breakdown.components_sum() == breakdown.total
+        assert math.fsum(
+            (
+                breakdown.transmission,
+                breakdown.queueing,
+                breakdown.timeout_wait,
+                breakdown.retransmission,
+            )
+        ) == breakdown.total
+
+    def test_fifo_queue_wait_is_classified_as_queueing(self):
+        tracer = FrameTracer()
+        tracer.on_publish(FakeFrame(1, 1))
+        tracer.on_fork(1, 2)
+        frame = FakeFrame(1, 2)
+        # The link is busy: 0.3s queue wait recorded at transmit time.
+        tracer.on_transmit(0.0, 0, 1, frame, True, None, 0.01, 0.3)
+        tracer.on_enqueue(0.0, 0, 1, frame, 0.3)
+        tracer.on_arrive(0.36, 0, 1, frame)  # 0.3 wait + 0.05 serialise + 0.01 prop
+        tracer.on_deliver(0.36, 1, frame)
+        breakdown = tracer.delay_breakdown(1, 1)
+        assert breakdown.queueing == pytest.approx(0.3)
+        assert breakdown.transmission == pytest.approx(0.06)
+        assert breakdown.components_sum() == breakdown.total
+
+    def test_edf_queueing_derived_from_arrival(self):
+        tracer = FrameTracer()
+        tracer.on_publish(FakeFrame(1, 1))
+        tracer.on_fork(1, 2)
+        frame = FakeFrame(1, 2)
+        # EDF: wait unknown at transmit time (queue=None); arrival implies it.
+        tracer.on_transmit(0.0, 0, 1, frame, True, None, 0.01, None)
+        tracer.on_enqueue(0.0, 0, 1, frame, None, qlen=4)
+        tracer.on_arrive(0.21, 0, 1, frame)
+        tracer.on_deliver(0.21, 1, frame)
+        breakdown = tracer.delay_breakdown(1, 1)
+        assert breakdown.queueing == pytest.approx(0.20)
+        assert breakdown.components_sum() == breakdown.total
+
+
+class TestRetransmissionTree:
+    def test_tree_structure_and_fates(self):
+        tracer = scripted_two_hop_tracer()
+        (root,) = tracer.retransmission_tree(1)
+        assert root["transfer"] == 2
+        assert (root["src"], root["dst"]) == (0, 1)
+        assert root["fate"] == "arrived"
+        (child,) = root["children"]
+        assert child["transfer"] == 3
+        assert child["attempts"] == 2
+        assert child["fate"] == "arrived"
+
+    def test_lost_copy_fate(self):
+        tracer = FrameTracer()
+        tracer.on_publish(FakeFrame(1, 1))
+        tracer.on_fork(1, 2)
+        frame = FakeFrame(1, 2)
+        tracer.on_transmit(0.0, 0, 1, frame, False, "loss", 0.01, 0.0)
+        (root,) = tracer.retransmission_tree(1)
+        assert root["fate"] == "lost"
+
+    def test_format_renders_every_copy(self):
+        tracer = scripted_two_hop_tracer()
+        text = tracer.format_retransmission_tree(1)
+        assert "msg 1" in text
+        assert "#2 0->1" in text
+        assert "#3 1->2" in text
+        assert "attempts=2" in text
+
+
+class TestExcerpt:
+    def test_filters_to_the_given_frame(self):
+        tracer = scripted_two_hop_tracer()
+        tracer.on_publish(FakeFrame(2, 50))  # unrelated message
+        lines = tracer.excerpt(frames=(FakeFrame(1, 3),))
+        assert lines
+        assert all("msg=1" in line or "transfer=3" in line for line in lines)
+        assert not any("msg=2" in line for line in lines)
+
+    def test_falls_back_to_stream_tail(self):
+        tracer = scripted_two_hop_tracer()
+        lines = tracer.excerpt(limit=3)
+        assert len(lines) == 3
+        assert "deliver" in lines[-1]
+
+    def test_limit_caps_the_excerpt(self):
+        tracer = scripted_two_hop_tracer()
+        assert len(tracer.excerpt(frames=(FakeFrame(1, 3),), limit=2)) == 2
+
+
+class TestJsonlRoundTrip:
+    def test_export_then_load_preserves_queries(self):
+        tracer = scripted_two_hop_tracer()
+        buffer = io.StringIO()
+        tracer.export_jsonl(buffer)
+        loaded = load_jsonl(io.StringIO(buffer.getvalue()))
+        assert loaded.events_recorded == tracer.events_recorded
+        assert [e.as_dict() for e in loaded.events()] == [
+            e.as_dict() for e in tracer.events()
+        ]
+        original = tracer.journey(1, 2)
+        recovered = loaded.journey(1, 2)
+        assert recovered.chain == original.chain
+        assert recovered.delivery_time == original.delivery_time
+        assert (
+            loaded.delay_breakdown(1, 2).as_dict()
+            == tracer.delay_breakdown(1, 2).as_dict()
+        )
+
+    def test_export_to_path(self, tmp_path):
+        tracer = scripted_two_hop_tracer()
+        path = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(str(path))
+        loaded = load_jsonl(str(path))
+        assert loaded.journey(1, 2).chain == (0, 1, 2)
+
+    def test_meta_line_first_and_versioned(self):
+        buffer = io.StringIO()
+        scripted_two_hop_tracer().export_jsonl(buffer)
+        import json
+
+        first = json.loads(buffer.getvalue().splitlines()[0])
+        assert first["kind"] == "meta"
+        assert first["version"] == trace.JSONL_VERSION
+
+    def test_missing_meta_line_rejected(self):
+        with pytest.raises(TraceError):
+            load_jsonl(io.StringIO('{"seq": 0}\n'))
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(TraceError):
+            load_jsonl(io.StringIO('{"kind": "meta", "version": 99}\n'))
+
+
+class TestInstall:
+    def test_install_and_uninstall(self):
+        tracer = FrameTracer()
+        trace.install(tracer)
+        try:
+            assert trace.ACTIVE is tracer
+        finally:
+            trace.uninstall()
+        assert trace.ACTIVE is None
+
+    def test_default_capacity_is_large(self):
+        assert FrameTracer().capacity == DEFAULT_CAPACITY
+
+
+def test_publish_event_carries_topic_and_destinations():
+    tracer = FrameTracer()
+    tracer.on_publish(
+        FakeFrame(1, 1, destinations=frozenset({2, 5}), topic=3, publish_time=1.5)
+    )
+    (event,) = tracer.events()
+    assert event.kind == PUBLISH
+    assert event.t == 1.5
+    assert event.info == {"topic": 3, "dests": [2, 5]}
+
+
+def test_arrive_event_names_receiver_and_sender():
+    tracer = FrameTracer()
+    tracer.on_arrive(0.25, 4, 7, FakeFrame(1, 2))
+    (event,) = tracer.events()
+    assert event.kind == ARRIVE
+    assert event.node == 7
+    assert event.peer == 4
