@@ -10,6 +10,7 @@ import os
 
 import numpy as np
 
+from repro import probes
 from repro.core.computation import ControlPlaneSolver, compute_dr_table
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import build_environment, run_single
@@ -197,6 +198,15 @@ def test_data_plane_fast_path(benchmark):
     )
     full_scale = duration >= 10.0
     rounds = 5 if full_scale else 2
+
+    # Probe-overhead guard: with no observer attached, every repro.probes
+    # slot must be the literal None, so the timed region measures the
+    # zero-observer fast path — one ``is not None`` test per hook site.
+    # The >= 2x floor below then doubles as the overhead regression gate
+    # against the baseline recorded before the bus existed.
+    assert probes.observers() == ()
+    for family in probes.FAMILIES:
+        assert getattr(probes, "on_" + family) is None
 
     best_eps, events, summary = 0.0, 0, None
     for _ in range(rounds):

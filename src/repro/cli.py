@@ -75,8 +75,9 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--sanitize",
         action="store_true",
-        help="run under the SimSanitizer (repro.sanity): live invariant "
-        "checks + end-of-drain conservation accounting (slower)",
+        help="attach the SimSanitizer (repro.sanity) to the probe bus: "
+        "live invariant checks + end-of-drain conservation accounting "
+        "(slower)",
     )
     parser.add_argument(
         "--trace",
@@ -84,9 +85,10 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         const="",
         default=None,
         metavar="PATH",
-        help="run under the FrameTracer (repro.trace) and, for compare, "
-        "export one JSONL lifecycle trace per strategy; PATH may contain "
-        "a {strategy} placeholder (default: trace-<strategy>.jsonl)",
+        help="attach the FrameTracer (repro.trace) to the probe bus and, "
+        "for compare, export one JSONL lifecycle trace per strategy; PATH "
+        "may contain a {strategy} placeholder "
+        "(default: trace-<strategy>.jsonl)",
     )
 
 
@@ -245,7 +247,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--perf",
         action="store_true",
         help="also print per-strategy performance counters "
-        "(control-plane solve time, table reuse, warm-start rounds)",
+        "(control-plane solve time, table reuse, warm-start rounds, plus "
+        "any sanity.*/trace.*/probes.* counters from attached observers)",
     )
     compare.set_defaults(handler=cmd_compare)
 

@@ -35,8 +35,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
-from repro import sanity as _sanity
-from repro import trace as _trace
+from repro import probes as _probes
 from repro.core.computation import ControlPlaneSolver, DrTable, compute_dr_table
 from repro.perf import PerfStats
 from repro.pubsub.messages import AckFrame, PacketFrame
@@ -122,14 +121,14 @@ class _DeliveryTask:
         hop_of_copy = self._hop_of_copy
         node = self.node
         frame = self.frame
-        tracer = _trace.ACTIVE
+        probe_bounce = _probes.on_bounce
         for hop, dests in groups.items():
             copy = frame.forwarded(node, frozenset(dests))
             hop_of_copy[copy.transfer_id] = hop
-            if tracer is not None and hop == bounce:
+            if probe_bounce is not None and hop == bounce:
                 # The upstream fallback won over every sending-list
                 # candidate: this copy is a §III-D bounce.
-                tracer.on_bounce(strategy.ctx.sim._now, node, hop, copy)
+                probe_bounce(strategy.ctx.sim._now, node, hop, copy)
             arq_send(node, hop, copy, self._on_acked, self._on_failed)
 
     # ------------------------------------------------------------------
@@ -144,10 +143,9 @@ class _DeliveryTask:
         """m transmissions went unACKed: mark the hop dead, re-dispatch."""
         hop = self._hop_of_copy.pop(copy.transfer_id)
         self.failed_neighbors.add(hop)
-        if _trace.ACTIVE is not None:
-            _trace.ACTIVE.on_failover(
-                self.strategy.ctx.sim._now, self.node, hop, copy
-            )
+        probe = _probes.on_failover
+        if probe is not None:
+            probe(self.strategy.ctx.sim._now, self.node, hop, copy)
         self._dispatch(copy.destinations)
 
 
@@ -251,11 +249,14 @@ class DcrdStrategy(RoutingStrategy):
                         warm=warm,
                         changed_edges=changed,
                     )
-                    if _sanity.ACTIVE is not None:
+                    probe = _probes.on_table_solved
+                    if probe is not None:
                         # Raw solver output, before any subclass reorders
                         # its published copy (the naive-order ablation
-                        # violates Theorem 1 on purpose).
-                        table = _sanity.ACTIVE.checked_table(table)
+                        # violates Theorem 1 on purpose). Filter family:
+                        # handlers may substitute the table (the sanitizer's
+                        # missort mutation does).
+                        table = probe(table)
                     self._tables[key] = table
                     self._warm_tables[key] = table
 
@@ -289,8 +290,9 @@ class DcrdStrategy(RoutingStrategy):
             deadline=subscription.deadline,
             m=self.ctx.params.m,
         )
-        if _sanity.ACTIVE is not None:
-            table = _sanity.ACTIVE.checked_table(table)
+        probe = _probes.on_table_solved
+        if probe is not None:
+            table = probe(table)
         key = (topic, subscription.node)
         self._tables[key] = table
         self._warm_tables[key] = table
@@ -338,8 +340,9 @@ class DcrdStrategy(RoutingStrategy):
         packet instead of dropping it (§III's persistency mode).
         """
         self.abandoned += 1
-        if _trace.ACTIVE is not None:
-            _trace.ACTIVE.on_abandon(self.ctx.sim._now, node, frame, subscriber)
+        probe = _probes.on_abandon
+        if probe is not None:
+            probe(self.ctx.sim._now, node, frame, subscriber)
         self.ctx.metrics.record_give_up(frame.msg_id, subscriber)
 
     def _deliver_local_at_origin(

@@ -76,12 +76,13 @@ class ExperimentConfig:
     drain: float = 10.0
 
     # --- debugging ----------------------------------------------------
-    # Run under the SimSanitizer (repro.sanity): live invariant checks
-    # plus end-of-drain conservation accounting. Observation-only — the
-    # event trace is bit-identical either way — but costs time and memory,
-    # so it defaults to off.
+    # Both flags register an observer on the repro.probes bus for the run.
+    # Attach the SimSanitizer (repro.sanity): live invariant checks plus
+    # end-of-drain conservation accounting. Observation-only — the event
+    # trace is bit-identical either way — but costs time and memory, so it
+    # defaults to off.
     sanitize: bool = False
-    # Run under the FrameTracer (repro.trace): ring-buffered per-frame
+    # Attach the FrameTracer (repro.trace): ring-buffered per-frame
     # lifecycle events (publish, transmit, ack, failover, deliver, ...)
     # queryable after the run and exportable as JSONL. Observation-only,
     # same bit-identical guarantee as the sanitizer; defaults to off.

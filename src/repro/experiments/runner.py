@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro import probes as _probes
 from repro import sanity as _sanity
 from repro import trace as _trace
 from repro.core.forwarding import DcrdStrategy
@@ -111,13 +112,18 @@ class SimulationEnvironment:
         """Run to the configured end time and summarise.
 
         With ``config.sanitize`` on, the environment's sanitizer is
-        installed for the duration of the run; invariant violations raise
+        attached to the :mod:`repro.probes` bus for the duration of the
+        run; invariant violations raise
         :class:`~repro.sanity.InvariantViolation` mid-run, and the
         end-of-drain checks (timer orphans, frame conservation) run before
         the summary is assembled. With ``config.trace`` on, the
-        environment's :class:`~repro.trace.FrameTracer` is installed for
+        environment's :class:`~repro.trace.FrameTracer` is attached for
         the run *and* through the sanitizer's end-of-drain checks, so
-        orphan/conservation violations still capture trace excerpts.
+        orphan/conservation violations still capture trace excerpts. The
+        install order (sanitizer before tracer) fixes the fused callback
+        order at every shared probe site. Observers attached to the bus
+        directly (``repro.probes.attach``) are left untouched and keep
+        observing across runs.
         """
         # Assign unconditionally: a stale sanitizer/tracer from an aborted
         # run must never observe an unrelated environment.
@@ -169,6 +175,14 @@ class SimulationEnvironment:
             perf.update(self.sanitizer.perf_counters())
         if self.tracer is not None:
             perf.update(self.tracer.perf_counters())
+        # External bus observers (attached via repro.probes.attach) surface
+        # their counters too, e.g. ProbeCounters' probes.* entries.
+        for observer in _probes.observers():
+            if observer is self.sanitizer or observer is self.tracer:
+                continue
+            counters = getattr(observer, "perf_counters", None)
+            if callable(counters):
+                perf.update(counters())
         return perf
 
 

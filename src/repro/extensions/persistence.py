@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro import sanity as _sanity
+from repro import probes as _probes
 from repro.core.forwarding import DcrdStrategy
 from repro.pubsub.messages import PacketFrame
 from repro.routing.base import RuntimeContext
@@ -93,11 +93,13 @@ class PersistentDcrdStrategy(DcrdStrategy):
             return
         self.store.stored += 1
         self.store.pending[key] = item
-        if _sanity.ACTIVE is not None:
+        probe = _probes.on_custody
+        if probe is not None:
             # The pair is in explicit custody, not leaked: the sanitizer's
             # end-of-run conservation check must account it as such when
-            # the run ends before the retries are exhausted.
-            _sanity.ACTIVE.on_pair_custody(frame.msg_id, subscriber)
+            # the run ends before the retries are exhausted, and the tracer
+            # records the custody hand-off for journey reconstruction.
+            probe(self.ctx.sim._now, node, frame, subscriber, "stored", -1)
         self.ctx.sim.schedule(self.retry_backoff, self._retry, key)
 
     def _retry(self, key: Tuple[int, int, int]) -> None:
@@ -127,6 +129,18 @@ class PersistentDcrdStrategy(DcrdStrategy):
             destinations=frozenset({item.subscriber}),
             routing_path=(),
         )
+        probe = _probes.on_custody
+        if probe is not None:
+            # Link the fresh copy to the stored frame so the tracer can
+            # walk a redelivered pair's journey back through this broker.
+            probe(
+                self.ctx.sim._now,
+                item.node,
+                item.frame,
+                item.subscriber,
+                "redelivered",
+                fresh.transfer_id,
+            )
         self._start_task(item.node, fresh)
         self.ctx.sim.schedule(self.retry_backoff, self._retry, key)
 

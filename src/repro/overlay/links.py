@@ -29,8 +29,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro import sanity as _sanity
-from repro import trace as _trace
+from repro import probes as _probes
 from repro.overlay.failures import FailureSchedule, NodeFailureSchedule
 from repro.overlay.topology import Topology, canonical_edge
 from repro.sim.engine import Simulator
@@ -385,23 +384,15 @@ class OverlayNetwork:
                     stats.lost_random[kind] += 1
                     survived = False
                     cause = "random_loss"
-        if _sanity.ACTIVE is not None and kind is FrameKind.DATA:
-            _sanity.ACTIVE.on_data_transmit(
-                src, dst, frame, survived, None if survived else cause
-            )
-        # Tracer hook (observation-only, DATA frames only; ACK arrivals are
+        # Probe hook (observation-only, DATA frames only; ACK arrivals are
         # traced at the ARQ layer where they are matched to their copy).
-        tracer = _trace.ACTIVE
-        if tracer is not None and kind is not FrameKind.DATA:
-            tracer = None
+        probe_tx = _probes.on_transmit if kind is FrameKind.DATA else None
         if survived:
             if self._queueing and kind is FrameKind.DATA:
                 if self._edf:
-                    if tracer is not None:
+                    if probe_tx is not None:
                         # The EDF server decides the wait later (queue=None).
-                        tracer.on_transmit(
-                            now, src, dst, frame, True, None, entry[0], None
-                        )
+                        probe_tx(now, src, dst, frame, True, None, entry[0], None)
                     # Delivery is scheduled by the per-direction EDF server.
                     self._edf_enqueue(src, dst, frame, kind, size)
                     delay = None
@@ -414,16 +405,18 @@ class OverlayNetwork:
                         start = now
                     finish = start + self.service_time * size
                     self._busy_until[key] = finish
-                    if tracer is not None:
-                        wait = start - now
-                        tracer.on_transmit(
-                            now, src, dst, frame, True, None, entry[0], wait
+                    if probe_tx is not None:
+                        probe_tx(
+                            now, src, dst, frame, True, None, entry[0],
+                            start - now,
                         )
-                        if wait > 0.0:
-                            tracer.on_enqueue(now, src, dst, frame, wait)
+                    if start > now:
+                        probe_enq = _probes.on_enqueue
+                        if probe_enq is not None:
+                            probe_enq(now, src, dst, frame, start - now)
                     delay = (finish - now) + delay
-            elif tracer is not None:
-                tracer.on_transmit(now, src, dst, frame, True, None, entry[0], 0.0)
+            elif probe_tx is not None:
+                probe_tx(now, src, dst, frame, True, None, entry[0], 0.0)
             if delay is not None:
                 # Deliveries are never cancelled: inlined sim.schedule_fire
                 # (link delays are positive by construction, so the
@@ -439,8 +432,8 @@ class OverlayNetwork:
                     ),
                 )
                 sim._live += 1
-        elif tracer is not None:
-            tracer.on_transmit(now, src, dst, frame, False, cause, entry[0], None)
+        elif probe_tx is not None:
+            probe_tx(now, src, dst, frame, False, cause, entry[0], None)
         if self._trace:
             self.transmissions.append(Transmission(now, src, dst, kind, survived))
         return survived
@@ -451,32 +444,24 @@ class OverlayNetwork:
         if node_failures is not None and node_failures.is_failed(dst, self.sim._now):
             self.stats.lost_node_down[kind] += 1
             if kind is FrameKind.DATA:
-                if _sanity.ACTIVE is not None:
-                    _sanity.ACTIVE.on_frame_lost(frame, "node_down_arrival")
-                if _trace.ACTIVE is not None:
-                    _trace.ACTIVE.on_arrival_drop(
-                        self.sim._now, src, dst, frame, "node_down_arrival"
-                    )
+                probe = _probes.on_arrival_drop
+                if probe is not None:
+                    probe(self.sim._now, src, dst, frame, "node_down_arrival")
             return
         # The cached handler is current: attach/detach clear the cache.
         entry = self._dir_cache.get((src << 21) | dst)
         handler = entry[2] if entry is not None else self._handlers.get(dst)
         if handler is None:
             if kind is FrameKind.DATA:
-                if _sanity.ACTIVE is not None:
-                    _sanity.ACTIVE.on_frame_lost(frame, "no_handler")
-                if _trace.ACTIVE is not None:
-                    _trace.ACTIVE.on_arrival_drop(
-                        self.sim._now, src, dst, frame, "no_handler"
-                    )
+                probe = _probes.on_arrival_drop
+                if probe is not None:
+                    probe(self.sim._now, src, dst, frame, "no_handler")
             return
         self.stats.delivered[kind] += 1
         if kind is FrameKind.DATA:
-            if _sanity.ACTIVE is not None:
-                _sanity.ACTIVE.on_frame_delivered(frame)
-            tracer = _trace.ACTIVE
-            if tracer is not None:
-                tracer.on_arrive(self.sim._now, src, dst, frame)
+            probe = _probes.on_arrive
+            if probe is not None:
+                probe(self.sim._now, src, dst, frame)
         handler(src, frame)
 
     # ------------------------------------------------------------------
@@ -512,10 +497,9 @@ class OverlayNetwork:
                 _, _, dropped, kind, size = heapq.heappop(queue)
                 self.stats.dropped_expired[kind] += 1
                 self._edf_queued_size[key] -= size
-                if _sanity.ACTIVE is not None:
-                    _sanity.ACTIVE.on_frame_expired(dropped)
-                if _trace.ACTIVE is not None:
-                    _trace.ACTIVE.on_expire(now, key[0], key[1], dropped)
+                probe = _probes.on_expire
+                if probe is not None:
+                    probe(now, key[0], key[1], dropped)
                 if self._trace:
                     self.transmissions.append(
                         Transmission(now, key[0], key[1], kind, False, expired=True)

@@ -22,8 +22,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Set
 
-from repro import sanity as _sanity
-from repro import trace as _trace
+from repro import probes as _probes
 from repro.overlay.links import FrameKind
 from repro.pubsub.messages import AckFrame, PacketFrame
 from repro.routing.base import RoutingStrategy, RuntimeContext
@@ -98,18 +97,20 @@ class BrokerRuntime:
         seen = self._seen
         if key in seen:
             self.duplicates_suppressed += 1
-            if _trace.ACTIVE is not None:
-                _trace.ACTIVE.on_dedup_discard(self._sim._now, node, sender, frame)
+            probe = _probes.on_dedup_discard
+            if probe is not None:
+                probe(self._sim._now, node, sender, frame)
             return
         seen.add(key)
         order = self._seen_order
         order.append(key)
         if len(order) > DEDUP_CAPACITY:
             seen.discard(order.popleft())
-        if _sanity.ACTIVE is not None:
+        probe = _probes.on_broker_accept
+        if probe is not None:
             # Post-dedup: the same transfer must never pass twice, and the
             # carried routing path must be loop-free and in sync.
-            _sanity.ACTIVE.on_broker_accept(node, sender, frame)
+            probe(node, sender, frame)
         # Local delivery (inlined): deliver to a subscriber hosted here,
         # then forward whatever destinations remain.
         destinations = frame.destinations
@@ -127,8 +128,9 @@ class BrokerRuntime:
                 )
                 if first:
                     self.local_deliveries += 1
-                    if _trace.ACTIVE is not None:
-                        _trace.ACTIVE.on_deliver(self._sim._now, node, frame)
+                    probe = _probes.on_deliver
+                    if probe is not None:
+                        probe(self._sim._now, node, frame)
             destinations = destinations - {node}
             if not destinations:
                 return

@@ -30,7 +30,7 @@ from __future__ import annotations
 import itertools
 from typing import FrozenSet, Optional, Tuple
 
-from repro import trace as _trace
+from repro import probes as _probes
 
 _message_counter = itertools.count(1)
 _transfer_counter = itertools.count(1)
@@ -181,9 +181,9 @@ class PacketFrame:
             size,
             priority,
         )
-        tracer = _trace.ACTIVE
-        if tracer is not None:
-            tracer.on_publish(frame)
+        probe = _probes.on_publish
+        if probe is not None:
+            probe(frame)
         return frame
 
     def forwarded(
@@ -215,9 +215,9 @@ class PacketFrame:
         copy.fragments_needed = self.fragments_needed
         copy.size = self.size
         copy.priority = self.priority if priority is None else priority
-        tracer = _trace.ACTIVE
-        if tracer is not None:
-            tracer.on_fork(self.transfer_id, copy.transfer_id)
+        probe = _probes.on_fork
+        if probe is not None:
+            probe(self.transfer_id, copy.transfer_id)
         return copy
 
     def with_destinations(self, destinations: FrozenSet[int]) -> "PacketFrame":

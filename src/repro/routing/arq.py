@@ -31,8 +31,7 @@ from __future__ import annotations
 from heapq import heappush as _heappush
 from typing import Callable, Dict, Optional, Protocol, Tuple
 
-from repro import sanity as _sanity
-from repro import trace as _trace
+from repro import probes as _probes
 from repro.overlay.links import FrameKind
 from repro.pubsub.messages import AckFrame, PacketFrame
 from repro.routing.base import RuntimeContext
@@ -172,18 +171,17 @@ class ArqSender:
         del self._outstanding[ack.transfer_id]
         event = entry.event
         if event is not None:
-            if _sanity.ACTIVE is None:
+            # Veto family: a handler returning False keeps the timer alive
+            # (the sanitizer's MUTATE_SKIP_TIMER_CANCEL leak, so the
+            # end-of-run orphan check must catch it).
+            probe = _probes.on_timer_cancelled
+            if probe is None or probe(event.seq) is not False:
                 event.cancel()
                 self.timers_cancelled += 1
-            elif not _sanity.MUTATE_SKIP_TIMER_CANCEL:
-                event.cancel()
-                self.timers_cancelled += 1
-                _sanity.ACTIVE.on_timer_cancelled(event.seq)
-            # else: test mutation — leak the timer so the end-of-run
-            # orphan check must catch it.
         self.acked += 1
-        if _trace.ACTIVE is not None:
-            _trace.ACTIVE.on_ack(self._sim._now, node, sender, entry.frame)
+        probe = _probes.on_ack
+        if probe is not None:
+            probe(self._sim._now, node, sender, entry.frame)
         if self._rtt_sampling and entry.attempts == 1:
             # Karn's rule: only first-attempt ACKs give unambiguous RTTs.
             self.timeout_policy.on_sample(
@@ -209,19 +207,22 @@ class ArqSender:
         )
         _heappush(self._sim_heap, (time, seq, event))
         sim._live += 1
-        if _sanity.ACTIVE is not None:
-            _sanity.ACTIVE.on_timer_started(seq, time, entry.frame)
+        probe = _probes.on_timer_started
+        if probe is not None:
+            probe(seq, time, entry.frame)
 
     def _on_timeout(self, entry: _Outstanding) -> None:
         if entry.frame.transfer_id not in self._outstanding:
             return
-        if _sanity.ACTIVE is not None:
+        probe = _probes.on_timer_fired
+        if probe is not None:
             # After the outstanding check on purpose: a fire that finds its
             # transfer already settled must NOT count as the settlement
             # (that is exactly how a leaked cancel shows up as an orphan).
-            _sanity.ACTIVE.on_timer_fired(entry.event.seq)
-        if _trace.ACTIVE is not None:
-            _trace.ACTIVE.on_ack_timeout(
+            probe(entry.event.seq)
+        probe = _probes.on_ack_timeout
+        if probe is not None:
+            probe(
                 self._sim._now,
                 entry.src,
                 entry.dst,

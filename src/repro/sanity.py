@@ -9,10 +9,12 @@ module watches them *live*, sanitizer-style:
 
 * The hook sites in :mod:`repro.sim.engine`, :mod:`repro.overlay.links`,
   :mod:`repro.pubsub.broker`, :mod:`repro.routing.arq` and
-  :mod:`repro.core.forwarding` all read the module-level :data:`ACTIVE`
-  slot and do nothing when it is ``None`` — one load and one pointer
-  comparison, so disabled runs (the default) stay bit-identical to the
-  fast path, and the fingerprint suite keeps passing unchanged.
+  :mod:`repro.core.forwarding` all go through the :mod:`repro.probes`
+  bus — one compiled slot per event family, ``None`` when no observer
+  subscribes it — so disabled runs (the default) stay bit-identical to
+  the fast path, and the fingerprint suite keeps passing unchanged.
+  :func:`install` registers the sanitizer as a bus observer (and keeps
+  the historical :data:`ACTIVE` slot in sync for callers that query it).
 * When a :class:`Sanitizer` is installed (``ExperimentConfig.sanitize`` /
   CLI ``--sanitize``), every hook feeds a per-frame lifecycle ledger and a
   per-timer settlement table, and violations raise a structured
@@ -54,19 +56,21 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro import probes as _probes
 from repro import trace as _trace
 from repro.core.sending_list import theorem1_key
 from repro.util.errors import ReproError
 
-#: The installed sanitizer, or ``None`` (the default). Every hook site
-#: guards on ``if _sanity.ACTIVE is not None`` — the whole feature costs
-#: one module-attribute load and one identity check per hook when off.
+#: The installed sanitizer, or ``None`` (the default). Kept for
+#: compatibility and cross-observer queries (``InvariantViolation`` reads
+#: ``trace.ACTIVE`` the same way); the hook sites themselves read the
+#: compiled :mod:`repro.probes` slots instead.
 ACTIVE: Optional["Sanitizer"] = None
 
 # ---------------------------------------------------------------------------
 # Test-only mutation flags ("does the sanitizer have teeth?"). They are
-# consulted exclusively inside ACTIVE-guarded blocks, so they cannot affect
-# unsanitized runs no matter what a test leaves behind.
+# consulted exclusively inside the sanitizer's registered handlers, so they
+# cannot affect unsanitized runs no matter what a test leaves behind.
 # ---------------------------------------------------------------------------
 #: Reverse one freshly solved sending list before it is published, so the
 #: Theorem-1 order check must fire.
@@ -169,7 +173,7 @@ class _TransferRecord:
 
 
 class Sanitizer:
-    """Live invariant checker; install via the :data:`ACTIVE` slot.
+    """Live invariant checker; attach to the probe bus via :func:`install`.
 
     All hooks are observation-only (no RNG draws, no scheduling), so an
     enabled run executes the identical event sequence as a disabled one.
@@ -199,6 +203,73 @@ class Sanitizer:
         self._custody: Set[Tuple[int, int]] = set()
         # End-of-run conservation partition, filled by finish().
         self.pair_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def probe_handlers(self) -> Dict[str, Any]:
+        """The :mod:`repro.probes` families this sanitizer subscribes.
+
+        The sanitizer's public hook methods predate the bus and keep
+        their historical signatures; the explicit mapping (with a few
+        ``_probe_*`` adapters) bridges them to the unified payloads.
+        """
+        return {
+            "event_pop": self.on_event_pop,
+            "transmit": self._probe_transmit,
+            "arrive": self._probe_arrive,
+            "arrival_drop": self._probe_arrival_drop,
+            "expire": self._probe_expire,
+            "broker_accept": self.on_broker_accept,
+            "timer_started": self.on_timer_started,
+            "timer_cancelled": self._probe_timer_cancelled,
+            "timer_fired": self.on_timer_fired,
+            "table_solved": self.checked_table,
+            "custody": self._probe_custody,
+        }
+
+    def _probe_transmit(
+        self,
+        t: float,
+        src: int,
+        dst: int,
+        frame: Any,
+        survived: bool,
+        cause: Optional[str],
+        prop: float,
+        queue: Optional[float],
+    ) -> None:
+        self.on_data_transmit(src, dst, frame, survived, cause)
+
+    def _probe_arrive(self, t: float, src: int, dst: int, frame: Any) -> None:
+        self.on_frame_delivered(frame)
+
+    def _probe_arrival_drop(
+        self, t: float, src: int, dst: int, frame: Any, cause: str
+    ) -> None:
+        self.on_frame_lost(frame, cause)
+
+    def _probe_expire(self, t: float, src: int, dst: int, frame: Any) -> None:
+        self.on_frame_expired(frame)
+
+    def _probe_timer_cancelled(self, token: int) -> Any:
+        # Veto family: returning False keeps the ARQ timer alive, which is
+        # exactly the leak MUTATE_SKIP_TIMER_CANCEL must inject (the timer
+        # stays _PENDING here too, so the orphan check fires at finish()).
+        if MUTATE_SKIP_TIMER_CANCEL:
+            return False
+        self.on_timer_cancelled(token)
+        return True
+
+    def _probe_custody(
+        self,
+        t: float,
+        node: int,
+        frame: Any,
+        subscriber: int,
+        action: str,
+        fresh_transfer: int = -1,
+    ) -> None:
+        if action == "stored":
+            self.on_pair_custody(frame.msg_id, subscriber)
 
     # ------------------------------------------------------------------
     def _violate(
@@ -603,12 +674,21 @@ def _missort_table(table: Any) -> Any:
 
 
 def install(sanitizer: Optional["Sanitizer"]) -> None:
-    """Install *sanitizer* into the :data:`ACTIVE` slot (``None`` clears)."""
+    """Attach *sanitizer* to the probe bus (``None`` detaches the current).
+
+    Also mirrors it into the legacy :data:`ACTIVE` slot so existing
+    callers (and the trace-excerpt plumbing) keep working. Installing the
+    already-installed sanitizer is a no-op; installing a different one
+    first detaches the previous.
+    """
     global ACTIVE
+    if ACTIVE is not None and ACTIVE is not sanitizer:
+        _probes.detach(ACTIVE)
     ACTIVE = sanitizer
+    if sanitizer is not None:
+        _probes.attach(sanitizer)
 
 
 def uninstall() -> None:
-    """Clear the :data:`ACTIVE` slot."""
-    global ACTIVE
-    ACTIVE = None
+    """Detach the installed sanitizer and clear :data:`ACTIVE`."""
+    install(None)

@@ -36,8 +36,7 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro import sanity as _sanity
-from repro import trace as _trace
+from repro import probes as _probes
 from repro.util.errors import SimulationError
 
 _heappush = heapq.heappush
@@ -270,11 +269,10 @@ class Simulator:
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
-        # Sanitizer/tracer hooks, hoisted once per run(): None (the default)
-        # keeps the loop body at a single local load + identity check per
-        # event.
-        sanitizer = _sanity.ACTIVE
-        tracer = _trace.ACTIVE
+        # The event_pop probe slot, hoisted once per run(): None (the
+        # default) keeps the loop body at a single local load + identity
+        # check per event regardless of how many observers are attached.
+        on_event_pop = _probes.on_event_pop
         try:
             while heap:
                 entry = heap[0]
@@ -294,10 +292,8 @@ class Simulator:
                     )
                 heappop(heap)
                 self._live -= 1
-                if sanitizer is not None:
-                    sanitizer.on_event_pop(entry[0], self._now)
-                if tracer is not None:
-                    tracer.sim_events += 1
+                if on_event_pop is not None:
+                    on_event_pop(entry[0], self._now)
                 self._now = entry[0]
                 if event is not None:
                     event.fired = True
@@ -320,8 +316,7 @@ class Simulator:
         Useful in tests that need fine-grained control.
         """
         heap = self._heap
-        sanitizer = _sanity.ACTIVE
-        tracer = _trace.ACTIVE
+        on_event_pop = _probes.on_event_pop
         while heap:
             entry = heapq.heappop(heap)
             if len(entry) == 3:
@@ -330,19 +325,15 @@ class Simulator:
                     self._tombstones -= 1
                     continue
                 self._live -= 1
-                if sanitizer is not None:
-                    sanitizer.on_event_pop(entry[0], self._now)
-                if tracer is not None:
-                    tracer.sim_events += 1
+                if on_event_pop is not None:
+                    on_event_pop(entry[0], self._now)
                 self._now = entry[0]
                 event.fired = True
                 event.callback(*event.args)
             else:
                 self._live -= 1
-                if sanitizer is not None:
-                    sanitizer.on_event_pop(entry[0], self._now)
-                if tracer is not None:
-                    tracer.sim_events += 1
+                if on_event_pop is not None:
+                    on_event_pop(entry[0], self._now)
                 self._now = entry[0]
                 entry[2](*entry[3])
             self._processed += 1

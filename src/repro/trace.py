@@ -8,10 +8,11 @@ subscriber) pair can be decomposed hop by hop.
 
 The design follows :mod:`repro.sanity` exactly:
 
-* A module-level :data:`ACTIVE` slot holds the installed tracer (or
-  ``None``, the default). Every hook site guards with
-  ``if _trace.ACTIVE is not None`` — one module-attribute load and one
-  identity comparison per hook when off, so disabled runs stay
+* The tracer is an observer of the :mod:`repro.probes` bus —
+  :func:`install` attaches it (and mirrors it into the legacy
+  :data:`ACTIVE` slot). Hook sites read the bus's compiled per-family
+  slots, ``None`` when nothing subscribes — one module-attribute load and
+  one identity comparison per hook when off, so disabled runs stay
   bit-identical to the untraced fast path (the fingerprint suite pins
   this).
 * All hooks are **observation-only**: the tracer consumes no randomness
@@ -38,6 +39,8 @@ failover        DCRD marked a next hop failed and re-dispatched
 bounce          a copy was sent back to its upstream broker (§III-D)
 expire          the EDF overload policy discarded a queued copy
 abandon         the strategy gave a destination up
+custody         the persistency store took a pair into custody or forked
+                a fresh redelivery copy from the stored frame
 ==============  =========================================================
 
 On top of the raw stream, :meth:`FrameTracer.journey` reconstructs the
@@ -51,9 +54,9 @@ message. :meth:`FrameTracer.export_jsonl` /
 :func:`load_jsonl` round-trip the stream, and every query works on a
 loaded trace (transmit events embed their parent transfer id).
 
-The module deliberately imports only :mod:`repro.util.errors` so every
-instrumented layer — the kernel, the frame constructors, the sanitizer —
-can import it without cycles.
+The module deliberately imports only :mod:`repro.util.errors` and the
+leaf :mod:`repro.probes` bus, so every instrumented layer — the kernel,
+the frame constructors, the sanitizer — can import it without cycles.
 """
 
 from __future__ import annotations
@@ -75,11 +78,13 @@ from typing import (
     Union,
 )
 
+from repro import probes as _probes
 from repro.util.errors import ReproError
 
-#: The installed tracer, or ``None`` (the default). Hook sites guard on
-#: ``if _trace.ACTIVE is not None`` — the whole feature costs one load and
-#: one identity check per hook when off.
+#: The installed tracer, or ``None`` (the default). Kept for
+#: compatibility and cross-observer queries (the sanitizer reads it to
+#: attach trace excerpts to violations); the hook sites themselves read
+#: the compiled :mod:`repro.probes` slots instead.
 ACTIVE: Optional["FrameTracer"] = None
 
 # Event kinds.
@@ -96,6 +101,7 @@ FAILOVER = "failover"
 BOUNCE = "bounce"
 EXPIRE = "expire"
 ABANDON = "abandon"
+CUSTODY = "custody"
 
 #: Default ring-buffer capacity (events). Large enough for every test and
 #: CLI-scale run; overflowing runs keep the newest events and count the
@@ -313,6 +319,11 @@ class FrameTracer:
             TraceEvent(next(self._seq), t, kind, msg, transfer, node, peer, info)
         )
 
+    # -- kernel (sim/engine.py) -----------------------------------------
+    def on_event_pop(self, t: float, now: float) -> None:
+        """The kernel popped an event (counted, not buffered)."""
+        self.sim_events += 1
+
     # -- frame constructors (pubsub/messages.py) ------------------------
     def on_publish(self, frame: Any) -> None:
         """A root copy was created at the origin (PacketFrame.fresh)."""
@@ -453,6 +464,33 @@ class FrameTracer:
         self._record(
             t, ABANDON, frame.msg_id, frame.transfer_id, node,
             info={"subscriber": subscriber},
+        )
+
+    # -- persistency custody (extensions/persistence.py) ----------------
+    def on_custody(
+        self,
+        t: float,
+        node: int,
+        frame: Any,
+        subscriber: int,
+        action: str,
+        fresh_transfer: int = -1,
+    ) -> None:
+        """The persistency store took custody of (or redelivered) a pair.
+
+        ``action`` is ``"stored"`` when the strategy persisted the frame
+        instead of giving the subscriber up, ``"redelivered"`` when a
+        fresh copy (``fresh_transfer``) was forked from the stored frame
+        for a retry. The fresh copy is linked into the parent lineage so
+        :meth:`journey` can walk a redelivered pair's chain back through
+        the storing broker to the original publish.
+        """
+        info: Dict[str, Any] = {"subscriber": subscriber, "action": action}
+        if fresh_transfer >= 0:
+            info["fresh"] = fresh_transfer
+            self._parents[fresh_transfer] = frame.transfer_id
+        self._record(
+            t, CUSTODY, frame.msg_id, frame.transfer_id, node, info=info
         )
 
     # ------------------------------------------------------------------
@@ -597,11 +635,16 @@ class FrameTracer:
         transfer = deliver.transfer
         tx = self._tx_by_transfer
         parents = self._parents
-        while transfer in tx:
-            chain_transfers.append(transfer)
+        # Walk the full ancestry; ancestors without transmit events (the
+        # virtual root copy, a stored frame redelivered in place) are
+        # skipped rather than terminating the walk, so custody
+        # redeliveries chain back through the storing broker to the
+        # origin. Parent transfer ids strictly decrease, so this
+        # terminates.
+        while transfer >= 0:
+            if transfer in tx:
+                chain_transfers.append(transfer)
             transfer = parents.get(transfer, -1)
-            if transfer < 0:
-                break
         if not chain_transfers:
             raise TraceError(
                 f"delivering transfer {deliver.transfer} of msg {msg_id} "
@@ -890,17 +933,32 @@ def load_jsonl(source: Union[str, IO[str]]) -> FrameTracer:
             parent = event.info.get("parent", -1)
             if parent >= 0:
                 tracer._parents[event.transfer] = parent
+        elif event.kind == CUSTODY and event.info is not None:
+            # Custody redeliveries embed the fresh copy's transfer id, so
+            # stored->redelivered lineage survives the JSONL round-trip.
+            fresh = event.info.get("fresh", -1)
+            if fresh >= 0:
+                tracer._parents[fresh] = event.transfer
     tracer.events_dropped = dropped
     return tracer
 
 
 def install(tracer: Optional["FrameTracer"]) -> None:
-    """Install *tracer* into the :data:`ACTIVE` slot (``None`` clears)."""
+    """Attach *tracer* to the probe bus (``None`` detaches the current).
+
+    Also mirrors it into the legacy :data:`ACTIVE` slot so existing
+    callers (and the sanitizer's excerpt plumbing) keep working.
+    Installing the already-installed tracer is a no-op; installing a
+    different one first detaches the previous.
+    """
     global ACTIVE
+    if ACTIVE is not None and ACTIVE is not tracer:
+        _probes.detach(ACTIVE)
     ACTIVE = tracer
+    if tracer is not None:
+        _probes.attach(tracer)
 
 
 def uninstall() -> None:
-    """Clear the :data:`ACTIVE` slot."""
-    global ACTIVE
-    ACTIVE = None
+    """Detach the installed tracer and clear :data:`ACTIVE`."""
+    install(None)

@@ -54,6 +54,16 @@ def test_congestion_meltdown_shows_all_regimes():
     assert "Takeaway" in out
 
 
+def test_live_delivery_rate_attaches_custom_observer():
+    out = run_example(
+        "live_delivery_rate.py",
+        "--duration", "6", "--seed", "7", "--window", "2",
+    )
+    assert "busiest broker=" in out  # periodic live report lines
+    assert "Observer saw" in out
+    assert "live.deliveries=" in out  # merged into summary.perf
+
+
 def test_embedded_api_logs_deliveries():
     out = run_example("embedded_api.py")
     assert "ops-east" in out and "archiver" in out

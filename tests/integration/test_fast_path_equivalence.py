@@ -108,25 +108,34 @@ def _digest(env, summary) -> dict:
     )
 
 
-@pytest.mark.parametrize("seed", [1, 2])
-@pytest.mark.parametrize("config_name,strategy", CELLS)
-def test_matches_pre_fast_path_reference(config_name, strategy, seed):
-    """Every cell reproduces the recorded pre-change trace exactly."""
-    got = _digest(*_run(config_name, strategy, seed))
-    want = REFERENCE[f"{config_name}/{strategy}/seed{seed}"]
-    assert got == want
+#: The four observation modes every cell must be bit-identical in. The
+#: probe bus compiles its slots to None (plain), one bound handler, or a
+#: fused sanitizer+tracer chain — none of which may perturb the run.
+MODES = {
+    "plain": dict(),
+    "sanitized": dict(sanitize=True),
+    "traced": dict(trace=True),
+    "sanitized+traced": dict(sanitize=True, trace=True),
+}
 
 
+@pytest.mark.parametrize("mode", sorted(MODES))
 @pytest.mark.parametrize("seed", [1, 2])
 @pytest.mark.parametrize("config_name,strategy", CELLS)
-def test_traced_runs_match_reference(config_name, strategy, seed):
-    """The FrameTracer observes only: every traced cell still reproduces
-    the pre-change fingerprint exactly (same event interleaving, same RNG
-    draw order, same per-message outcomes — only trace.* perf differs,
-    and the digest excludes perf)."""
-    env, summary = _run(config_name, strategy, seed, trace=True)
-    assert env.tracer is not None
-    assert env.tracer.events_recorded > 0
+def test_matches_pre_fast_path_reference(config_name, strategy, seed, mode):
+    """Every cell reproduces the recorded pre-change trace exactly, in all
+    four observation modes: the probe bus is observation-only, so a
+    sanitized and/or traced run pops the same event interleaving, draws
+    the same RNG sequence and produces the same per-message outcomes —
+    only sanity.*/trace.* perf counters differ, and the digest excludes
+    perf."""
+    env, summary = _run(config_name, strategy, seed, **MODES[mode])
+    if "traced" in mode:
+        assert env.tracer is not None
+        assert env.tracer.events_recorded > 0
+    if "sanitized" in mode:
+        assert env.sanitizer is not None
+        assert env.sanitizer.events_checked > 0
     got = _digest(env, summary)
     want = REFERENCE[f"{config_name}/{strategy}/seed{seed}"]
     assert got == want

@@ -1,0 +1,116 @@
+"""Combined-observer runs over the probe bus (satellite of the bus refactor).
+
+Three guarantees when ``--sanitize --trace --perf`` are stacked on one run:
+
+* the observed run is bit-identical to an unobserved one (the comparison
+  table the CLI prints must not change by a character);
+* the sanitizer and the tracer see the *same* event stream — the fused
+  callback chain hands every probe event to both, in attach order;
+* tearing the run down detaches both observers, restoring every
+  ``repro.probes`` slot to the literal-``None`` no-op state.
+"""
+
+import pytest
+
+from repro import probes
+from repro.cli import main
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_environment
+from repro import sanity as _sanity
+from repro import trace as _trace
+
+COMBINED_CONFIG = ExperimentConfig(
+    topology_kind="regular",
+    degree=3,
+    num_nodes=8,
+    num_topics=3,
+    failure_probability=0.05,
+    duration=6.0,
+    drain=3.0,
+)
+
+FAST_COMPARE = [
+    "compare",
+    "--duration", "4",
+    "--nodes", "6",
+    "--topics", "2",
+    "--strategies", "DCRD",
+    "--seed", "3",
+]
+
+
+def _comparison_table(out: str) -> str:
+    """The strategy table only — the part that must be mode-invariant.
+
+    The perf section (mode-dependent by design: it carries the observers'
+    own counters) and the ``[trace written ...]`` notices are stripped.
+    """
+    head = out.split("Performance counters")[0]
+    return "\n".join(
+        line
+        for line in head.splitlines()
+        if line.strip() and not line.startswith("[trace written")
+    )
+
+
+def test_cli_combined_flags_match_plain_run(tmp_path, monkeypatch, capsys):
+    """``--sanitize --trace --perf`` prints the same comparison table as a
+    plain run, plus the observers' perf counters."""
+    monkeypatch.chdir(tmp_path)
+    assert main(FAST_COMPARE) == 0
+    plain = capsys.readouterr().out
+
+    assert main(FAST_COMPARE + ["--sanitize", "--trace", "--perf"]) == 0
+    combined = capsys.readouterr().out
+
+    assert _comparison_table(combined) == _comparison_table(plain)
+    # Both observers surfaced through the merged perf snapshot.
+    assert "sanity.events_checked" in combined
+    assert "trace.events_recorded" in combined
+    assert (tmp_path / "trace-DCRD.jsonl").exists()
+
+
+def test_combined_observers_share_one_event_stream():
+    """Sanitizer, tracer, and an external counter all subscribe to the same
+    fused chains: per-family counts must agree across all three."""
+    counters = probes.ProbeCounters()
+    probes.attach(counters)
+    try:
+        config = COMBINED_CONFIG.with_updates(sanitize=True, trace=True)
+        env = build_environment(config, "DCRD", seed=11)
+        summary = env.execute()
+    finally:
+        probes.detach(counters)
+
+    sanitizer, tracer = env.sanitizer, env.tracer
+    assert sanitizer is not None and tracer is not None
+    # Every kernel pop reached both built-in observers and the external one.
+    assert sanitizer.events_checked == tracer.sim_events
+    assert counters.counts["event_pop"] == tracer.sim_events > 0
+    # Data-plane families line up with the tracer's recorded stream.
+    by_kind = {}
+    for event in tracer.events():
+        by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+    assert counters.counts["deliver"] == by_kind.get("deliver", 0) > 0
+    assert counters.counts["publish"] == by_kind.get("publish", 0) > 0
+    # The runner merged the external observer's counters into the summary.
+    assert summary.perf["probes.event_pop"] == float(counters.counts["event_pop"])
+    assert summary.perf["sanity.events_checked"] == float(
+        sanitizer.events_checked
+    )
+
+
+def test_run_teardown_restores_noop_slots():
+    """After a combined run finishes, the bus is empty again: every probe
+    slot is the literal ``None`` no-op and no observer remains attached."""
+    config = COMBINED_CONFIG.with_updates(sanitize=True, trace=True)
+    env = build_environment(config, "DCRD", seed=5)
+    # build_environment detaches its build-time sanitizer; execute() attaches
+    # both observers for the run and must detach them again on the way out.
+    assert probes.observers() == ()
+    env.execute()
+    assert probes.observers() == ()
+    for family in probes.FAMILIES:
+        assert getattr(probes, "on_" + family) is None
+    assert _sanity.ACTIVE is None
+    assert _trace.ACTIVE is None

@@ -1,0 +1,242 @@
+"""Unit tests of the repro.probes instrumentation bus."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro import probes
+from repro.probes import (
+    FAMILIES,
+    ProbeCounters,
+    ProbeError,
+    ProbeObserver,
+    ProbeRegistry,
+)
+from repro.util.errors import ReproError
+
+
+class Recorder(ProbeObserver):
+    """Auto-discovered handlers that log (name, args) tuples."""
+
+    def __init__(self, name):
+        self.name = name
+        self.calls = []
+
+    def on_transmit(self, *args):
+        self.calls.append((self.name, "transmit", args))
+
+    def on_deliver(self, *args):
+        self.calls.append((self.name, "deliver", args))
+
+
+def fresh_registry():
+    namespace = {}
+    return ProbeRegistry(namespace), namespace
+
+
+def test_default_slots_are_none():
+    registry, ns = fresh_registry()
+    assert set(ns) == {"on_" + family for family in FAMILIES}
+    assert all(slot is None for slot in ns.values())
+    assert registry.observers() == ()
+
+
+def test_module_slots_default_none_and_cover_every_family():
+    for family in FAMILIES:
+        assert getattr(probes, "on_" + family) is None
+
+
+def test_single_observer_binds_handler_directly():
+    registry, ns = fresh_registry()
+    observer = Recorder("a")
+    registry.attach(observer)
+    # One observer: the slot IS the bound method, no fusion wrapper.
+    assert ns["on_transmit"] == observer.on_transmit
+    assert ns["on_publish"] is None  # unsubscribed family stays a no-op
+    ns["on_transmit"](1, 2)
+    assert observer.calls == [("a", "transmit", (1, 2))]
+
+
+def test_detach_restores_none_slots():
+    registry, ns = fresh_registry()
+    observer = Recorder("a")
+    registry.attach(observer)
+    registry.detach(observer)
+    assert all(slot is None for slot in ns.values())
+    assert registry.observers() == ()
+    registry.detach(observer)  # unknown observers are ignored
+
+
+def test_fused_chain_runs_in_attach_order():
+    registry, ns = fresh_registry()
+    log = []
+    first, second = Recorder("first"), Recorder("second")
+    first.calls = second.calls = log
+    registry.attach(first)
+    registry.attach(second)
+    ns["on_deliver"]("x")
+    assert [name for name, _, _ in log] == ["first", "second"]
+    assert registry.observers() == (first, second)
+
+
+def test_attach_is_idempotent():
+    registry, ns = fresh_registry()
+    observer = Recorder("a")
+    registry.attach(observer)
+    registry.attach(observer)
+    assert registry.observers() == (observer,)
+    ns["on_transmit"]()
+    assert len(observer.calls) == 1
+
+
+def test_explicit_probe_handlers_mapping_wins():
+    registry, ns = fresh_registry()
+    calls = []
+
+    class Custom:
+        def probe_handlers(self):
+            return {"ack": lambda *a: calls.append(a)}
+
+        def on_transmit(self, *a):  # not in the mapping: must NOT register
+            raise AssertionError("bypassed probe_handlers")
+
+    registry.attach(Custom())
+    assert ns["on_transmit"] is None
+    ns["on_ack"](0.0, 1, 2, "frame")
+    assert calls == [(0.0, 1, 2, "frame")]
+
+
+def test_unknown_family_rejected():
+    registry, _ = fresh_registry()
+
+    class Bogus:
+        def probe_handlers(self):
+            return {"no_such_family": lambda: None}
+
+    with pytest.raises(ProbeError):
+        registry.attach(Bogus())
+    assert registry.observers() == ()
+    assert isinstance(ProbeError("x"), ReproError)
+
+
+def test_non_callable_handler_rejected():
+    registry, _ = fresh_registry()
+
+    class Bogus:
+        def probe_handlers(self):
+            return {"ack": "not callable"}
+
+    with pytest.raises(ProbeError):
+        registry.attach(Bogus())
+
+
+def test_veto_family_false_vetoes_but_all_handlers_run():
+    registry, ns = fresh_registry()
+    seen = []
+
+    def handler_factory(name, result):
+        class Vetoer:
+            def probe_handlers(self):
+                return {
+                    "timer_cancelled": lambda token: (
+                        seen.append((name, token)),
+                        result,
+                    )[1]
+                }
+
+        return Vetoer()
+
+    registry.attach(handler_factory("allow", True))
+    registry.attach(handler_factory("veto", False))
+    registry.attach(handler_factory("tail", None))
+    assert ns["on_timer_cancelled"](7) is False
+    # A veto must not hide the event from later observers.
+    assert seen == [("allow", 7), ("veto", 7), ("tail", 7)]
+
+    registry, ns = fresh_registry()
+    registry.attach(handler_factory("solo", None))
+    # Observation-only handlers (returning None) do not veto.
+    assert ns["on_timer_cancelled"](1) is not False
+
+
+def test_filter_family_threads_value():
+    registry, ns = fresh_registry()
+
+    class AddOne:
+        def probe_handlers(self):
+            return {"table_solved": lambda table: table + 1}
+
+    class Observe:
+        def probe_handlers(self):
+            return {"table_solved": lambda table: None}  # None = unchanged
+
+    registry.attach(Observe())
+    assert ns["on_table_solved"](10) == 10  # single handler still wrapped
+    registry.attach(AddOne())
+    registry.attach(AddOne())
+    assert ns["on_table_solved"](10) == 12
+
+
+def test_probe_counters_counts_every_family():
+    registry, ns = fresh_registry()
+    counters = ProbeCounters()
+    registry.attach(counters)
+    for family in FAMILIES:
+        assert ns["on_" + family] is not None
+    ns["on_transmit"](0.0, 1, 2, None, True, None, 0.01, 0.0)
+    ns["on_transmit"](0.0, 1, 2, None, True, None, 0.01, 0.0)
+    ns["on_deliver"](0.0, 3, None)
+    ns["on_timer_cancelled"](5)  # counting must not veto
+    assert counters.counts == {"transmit": 2, "deliver": 1, "timer_cancelled": 1}
+    assert counters.total() == 4
+    assert counters.perf_counters() == {
+        "probes.deliver": 1.0,
+        "probes.timer_cancelled": 1.0,
+        "probes.transmit": 2.0,
+    }
+
+
+#: The only modules allowed to touch the legacy ``ACTIVE`` compatibility
+#: slots: the bus itself and the two built-in observers it hosts.
+_OBSERVER_MODULES = {"probes.py", "sanity.py", "trace.py"}
+
+
+def test_no_active_hook_checks_outside_registered_observers():
+    """Grep-enforced: hook sites go through repro.probes slots only.
+
+    Before the bus, every instrumented module guarded its hook calls with
+    ``_sanity.ACTIVE``/``_trace.ACTIVE`` checks — two branches per site,
+    and a third once perf counters joined. Any ``<module>.ACTIVE``
+    reference outside the observer modules means a site regressed to the
+    old pattern (or a new site bypassed the bus).
+    """
+    src = Path(__file__).resolve().parents[1] / "src" / "repro"
+    pattern = re.compile(r"\b\w+\.ACTIVE\b")
+    offenders = [
+        f"{path.relative_to(src)}:{lineno}: {line.strip()}"
+        for path in sorted(src.rglob("*.py"))
+        if path.name not in _OBSERVER_MODULES
+        for lineno, line in enumerate(path.read_text().splitlines(), 1)
+        if pattern.search(line)
+    ]
+    assert not offenders, (
+        "legacy ACTIVE hook checks outside repro.probes observers "
+        "(instrument via a probes slot instead):\n" + "\n".join(offenders)
+    )
+
+
+def test_module_registry_attach_detach_roundtrip():
+    observer = Recorder("module")
+    before = probes.observers()
+    probes.attach(observer)
+    try:
+        assert observer in probes.observers()
+        assert probes.on_transmit is not None
+        probes.on_transmit(0.0, 1, 2, None, True, None, 0.01, 0.0)
+        assert observer.calls
+    finally:
+        probes.detach(observer)
+    assert probes.observers() == before
+    if not before:
+        assert probes.on_transmit is None
