@@ -7,16 +7,72 @@ with size (longer detours) but stays below Multipath.
 
 The benchmark's default sizes stop at 80 nodes to keep the run short;
 set ``REPRO_BENCH_FULL_FIG5=1`` for the paper's full {10..160} axis.
+
+Set ``REPRO_BENCH_MEGA_FIG5=1`` for the mega-scale tier: DCRD alone on
+1000- and 2000-node overlays (the flat index-addressed data plane's
+design point), reporting the kernel event rate next to the delivery
+metrics. The mega tier runs DCRD directly rather than the five-strategy
+sweep — at these sizes the table solve dominates wall time, so the
+workload is thinned (few topics, sparse subscriptions, one monitoring
+epoch) to keep the run about the data plane.
 """
 
 import os
 
+import pytest
+
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import NETWORK_SIZES, PANEL_METRICS, figure5
 from repro.experiments.report import render_panels
+from repro.experiments.runner import build_environment
 
 from _common import bench_duration, bench_seeds, save_report
 
 SIZES = NETWORK_SIZES if os.environ.get("REPRO_BENCH_FULL_FIG5") else (10, 20, 40, 80)
+
+MEGA = bool(os.environ.get("REPRO_BENCH_MEGA_FIG5"))
+MEGA_SIZES = (1000, 2000)
+
+
+def mega_config(size: int) -> ExperimentConfig:
+    """Figure-5 hazard shape at mega scale, thinned to data-plane cost."""
+    return ExperimentConfig(
+        duration=bench_duration(5.0),
+        drain=4.0,
+        topology_kind="regular",
+        degree=8,
+        num_nodes=size,
+        failure_probability=0.06,
+        num_topics=4,
+        ps_range=(0.01, 0.03),
+        monitor_period=300.0,
+    )
+
+
+def run_mega():
+    rows = {}
+    for size in MEGA_SIZES:
+        config = mega_config(size)
+        for seed in bench_seeds(1):
+            summary = build_environment(config, "DCRD", seed).execute()
+            rows[size] = summary
+    lines = [
+        "Figure 5 mega tier: DCRD at degree 8, Pf = 0.06",
+        f"{'nodes':>6} {'delivery':>9} {'qos':>9} {'events/s':>10} "
+        f"{'events':>9} {'elided':>7} {'fallbacks':>9}",
+    ]
+    for size, summary in rows.items():
+        perf = summary.perf
+        lines.append(
+            f"{size:>6} {summary.delivery_ratio:>9.4f} "
+            f"{summary.qos_delivery_ratio:>9.4f} "
+            f"{perf.get('sim.events_per_s', 0.0):>10.0f} "
+            f"{perf['sim.events_processed']:>9.0f} "
+            f"{perf['arq.timers_elided']:>7.0f} "
+            f"{perf['flat.dir_fallbacks']:>9.0f}"
+        )
+    save_report("fig5_mega", "\n".join(lines))
+    return rows
 
 
 def run():
@@ -36,3 +92,13 @@ def test_figure5(benchmark):
     # Longer paths hurt the fixed tree far more than DCRD.
     assert dcrd[largest] > dtree[largest]
     assert dcrd[largest] > 0.97
+
+
+@pytest.mark.skipif(not MEGA, reason="set REPRO_BENCH_MEGA_FIG5=1 to run")
+def test_figure5_mega(benchmark):
+    rows = benchmark.pedantic(run_mega, rounds=1, iterations=1)
+    for size, summary in rows.items():
+        # DCRD keeps its delivery guarantee at the mega scale, and the
+        # whole run stays on the flat fast path (no facade fallbacks).
+        assert summary.delivery_ratio > 0.97, size
+        assert summary.perf["flat.dir_fallbacks"] == 0.0, size

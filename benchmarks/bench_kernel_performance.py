@@ -228,9 +228,17 @@ def test_data_plane_fast_path(benchmark):
         f"  heap compactions          {perf['sim.heap_compactions']:10.0f}",
         f"  tombstones reaped         {perf['sim.tombstones_reaped']:10.0f}",
         f"  ACK timers cancelled      {perf['arq.timers_cancelled']:10.0f}",
+        f"  ACK timers elided         {perf['arq.timers_elided']:10.0f}",
         f"  frames forwarded          {perf['data_plane.frames_forwarded']:10.0f}",
+        f"  interned directions       {perf['flat.interned_directions']:10.0f}",
+        f"  facade fallbacks          {perf['flat.dir_fallbacks']:10.0f}",
     ]
     save_report("data_plane", "\n".join(lines))
+
+    # The timed region must never have left the flat index-addressed
+    # path: a steady-state run resolves every direction once at prewarm
+    # and each send thereafter is a compiled-closure dispatch.
+    assert perf["flat.dir_fallbacks"] == 0.0
 
     benchmark.pedantic(
         lambda: build_environment(config, "DCRD", seed=0).execute(),

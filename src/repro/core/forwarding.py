@@ -63,14 +63,36 @@ class _DeliveryTask:
         self.frame = frame
         self.pending: Set[int] = set(frame.destinations)
         self.failed_neighbors: Set[int] = set()
-        self.upstream = frame.upstream_of(node)
+        # Lazily resolved by _dispatch (-2 = unset): replayed dispatches
+        # never consult the upstream at all.
+        self.upstream = -2
         self._hop_of_copy: Dict[int, int] = {}
-        # The frozenset is iterated while ``pending`` (a distinct set) is
-        # mutated, so no defensive copy is needed.
-        self._dispatch(frame.destinations)
+        # Flow cache: the initial dispatch (empty failed set, untouched
+        # pending set) is a pure function of the control state and the
+        # frame's (topic, routing path, destination) flow signature, so the
+        # computed plan — next-hop groups plus abandoned destinations — is
+        # memoised on the strategy and replayed for every later copy of
+        # the same flow. Table changes clear the cache (see
+        # _invalidate_dispatch_cache); per-frame side effects (forwarded
+        # copies, ARQ sends, abandon bookkeeping, probes) are re-executed
+        # in the recorded order, so a replay is trace-identical to a
+        # recomputation.
+        cache = strategy._dispatch_cache
+        key = (frame.topic, node, frame.routing_path, frame.destinations)
+        plan = cache.get(key)
+        if plan is None:
+            # The frozenset is iterated while ``pending`` (a distinct set)
+            # is mutated, so no defensive copy is needed.
+            plan = self._dispatch(frame.destinations, record=True)
+            if len(cache) < strategy.DISPATCH_CACHE_CAP:
+                cache[key] = plan
+        else:
+            self._replay(plan)
 
     # ------------------------------------------------------------------
-    def _dispatch(self, subscribers: FrozenSet[int]) -> None:
+    def _dispatch(
+        self, subscribers: FrozenSet[int], record: bool = False
+    ) -> Optional[tuple]:
         """Assign each pending destination to a next hop and send copies.
 
         The next hop of a destination (lines 9–12) is the first node on its
@@ -79,22 +101,32 @@ class _DeliveryTask:
         selection is inlined here with its loop invariants (path, failed
         set, upstream fallback, table plumbing) hoisted out of the
         per-subscriber iteration.
+
+        With ``record=True`` (initial dispatch only) the computed plan is
+        returned for the strategy's flow cache: ``(abandons, groups)``
+        where ``groups`` is ``((hop, destinations, is_bounce), ...)`` in
+        send order.
         """
         groups: Dict[int, Set[int]] = {}
+        abandoned = [] if record else None
         pending = self.pending
         frame = self.frame
         path = frame.path_set
         node = self.node
         failed = self.failed_neighbors
         upstream = self.upstream
+        if upstream == -2:
+            upstream = self.upstream = frame.upstream_of(node)
         bounce = upstream if upstream >= 0 and upstream not in failed else None
         tables_get = self.strategy._tables.get
-        topic = frame.topic
+        # Packed (topic, subscriber) key — matches the interning used for
+        # link directions: one int hash per lookup, no tuple allocation.
+        topic_key = frame.topic << 21
         for subscriber in subscribers:
             if subscriber not in pending:
                 continue
             hop = bounce
-            table = tables_get((topic, subscriber))
+            table = tables_get(topic_key | subscriber)
             if table is not None:
                 sending_list = table._orders.get(node)
                 if sending_list is None:
@@ -107,6 +139,8 @@ class _DeliveryTask:
             if hop is None:
                 pending.discard(subscriber)
                 self.strategy.abandon(self.node, self.frame, subscriber)
+                if abandoned is not None:
+                    abandoned.append(subscriber)
                 continue
             group = groups.get(hop)
             if group is None:
@@ -114,7 +148,7 @@ class _DeliveryTask:
             else:
                 group.add(subscriber)
         if not groups:
-            return
+            return (tuple(abandoned), ()) if record else None
         strategy = self.strategy
         strategy.frames_forwarded += len(groups)
         arq_send = strategy.arq.send
@@ -122,14 +156,47 @@ class _DeliveryTask:
         node = self.node
         frame = self.frame
         probe_bounce = _probes.on_bounce
+        plan = [] if record else None
         for hop, dests in groups.items():
-            copy = frame.forwarded(node, frozenset(dests))
+            destinations = frozenset(dests)
+            copy = frame.forwarded(node, destinations)
             hop_of_copy[copy.transfer_id] = hop
-            if probe_bounce is not None and hop == bounce:
+            is_bounce = hop == bounce
+            if probe_bounce is not None and is_bounce:
                 # The upstream fallback won over every sending-list
                 # candidate: this copy is a §III-D bounce.
                 probe_bounce(strategy.ctx.sim._now, node, hop, copy)
+            if plan is not None:
+                plan.append((hop, destinations, is_bounce))
             arq_send(node, hop, copy, self._on_acked, self._on_failed)
+        return (tuple(abandoned), tuple(plan)) if record else None
+
+    def _replay(self, plan: tuple) -> None:
+        """Re-execute a cached dispatch plan for a fresh frame of the flow."""
+        abandons, groups = plan
+        strategy = self.strategy
+        node = self.node
+        frame = self.frame
+        if abandons:
+            pending = self.pending
+            for subscriber in abandons:
+                pending.discard(subscriber)
+                strategy.abandon(node, frame, subscriber)
+        if not groups:
+            return
+        strategy.frames_forwarded += len(groups)
+        arq_send = strategy.arq.send
+        hop_of_copy = self._hop_of_copy
+        probe_bounce = _probes.on_bounce
+        on_acked = self._on_acked
+        on_failed = self._on_failed
+        forwarded = frame.forwarded
+        for hop, destinations, is_bounce in groups:
+            copy = forwarded(node, destinations)
+            hop_of_copy[copy.transfer_id] = hop
+            if is_bounce and probe_bounce is not None:
+                probe_bounce(strategy.ctx.sim._now, node, hop, copy)
+            arq_send(node, hop, copy, on_acked, on_failed)
 
     # ------------------------------------------------------------------
     # ARQ callbacks
@@ -154,6 +221,9 @@ class DcrdStrategy(RoutingStrategy):
 
     name = "DCRD"
     uses_acks = True
+    #: Upper bound on memoised dispatch plans (safety valve for workloads
+    #: with unbounded flow diversity; steady-state runs stay far below it).
+    DISPATCH_CACHE_CAP = 65536
 
     #: Reuse unaffected tables and warm-start re-solves between refreshes.
     #: Flip to False (per instance) to force the from-scratch reference
@@ -167,11 +237,19 @@ class DcrdStrategy(RoutingStrategy):
     def __init__(self, ctx: RuntimeContext) -> None:
         super().__init__(ctx)
         self.arq = ArqSender(ctx)
-        self._tables: Dict[Tuple[int, int], DrTable] = {}
+        # Both table maps are keyed by the packed pair id
+        # ``(topic << 21) | subscriber`` (node ids fit 21 bits, like the
+        # overlay's packed direction ids), so the per-subscriber dispatch
+        # lookup hashes one int instead of building a tuple.
+        self._tables: Dict[int, DrTable] = {}
         # Raw solver outputs, kept separately from ``_tables`` so subclasses
         # that post-process published tables (e.g. the naive-order ablation)
         # never pollute the warm-start sources.
-        self._warm_tables: Dict[Tuple[int, int], DrTable] = {}
+        self._warm_tables: Dict[int, DrTable] = {}
+        # Flow cache for initial dispatch plans (see _DeliveryTask); any
+        # table change clears it, so cached plans never outlive the control
+        # state they were computed from.
+        self._dispatch_cache: Dict[tuple, tuple] = {}
         self._monitor_version: int = -1
         self.perf = PerfStats()
         self.tasks_started = 0
@@ -215,6 +293,7 @@ class DcrdStrategy(RoutingStrategy):
         changed = monitor.last_changed if track_changes else None
         self._monitor_version = version
         self.table_rebuilds += 1
+        self._dispatch_cache.clear()
         self.perf.incr("control_plane.refreshes")
         with self.perf.timer("control_plane.solve_time_s"):
             solver = ControlPlaneSolver(
@@ -224,8 +303,9 @@ class DcrdStrategy(RoutingStrategy):
                 perf=self.perf,
             )
             for spec in self.ctx.workload.topics:
+                topic_key = spec.topic << 21
                 for sub in spec.subscriptions:
-                    key = (spec.topic, sub.node)
+                    key = topic_key | sub.node
                     previous = self._warm_tables.get(key)
                     if (
                         changed is not None
@@ -262,7 +342,10 @@ class DcrdStrategy(RoutingStrategy):
 
     def table(self, topic: int, subscriber: int) -> DrTable:
         """The control state of one (topic, subscriber) pair."""
-        return self._tables[(topic, subscriber)]
+        try:
+            return self._tables[(topic << 21) | subscriber]
+        except KeyError:
+            raise KeyError((topic, subscriber)) from None
 
     def sending_list(self, topic: int, subscriber: int, node: int) -> Tuple[int, ...]:
         """Node *node*'s ordered candidates for *subscriber* of *topic*.
@@ -271,7 +354,7 @@ class DcrdStrategy(RoutingStrategy):
         were in flight) yield an empty list, so the forwarding task
         abandons the destination cleanly.
         """
-        table = self._tables.get((topic, subscriber))
+        table = self._tables.get((topic << 21) | subscriber)
         if table is None:
             return ()
         return table.sending_list(node)
@@ -293,21 +376,37 @@ class DcrdStrategy(RoutingStrategy):
         probe = _probes.on_table_solved
         if probe is not None:
             table = probe(table)
-        key = (topic, subscription.node)
+        key = (topic << 21) | subscription.node
         self._tables[key] = table
         self._warm_tables[key] = table
+        self._dispatch_cache.clear()
 
     def on_subscription_removed(self, topic: int, node: int) -> None:
         """Drop the pair's control state; in-flight copies self-abandon."""
-        self._tables.pop((topic, node), None)
-        self._warm_tables.pop((topic, node), None)
+        key = (topic << 21) | node
+        self._tables.pop(key, None)
+        self._warm_tables.pop(key, None)
+        self._dispatch_cache.clear()
 
     # ------------------------------------------------------------------
     # Data plane (Algorithm 2)
     # ------------------------------------------------------------------
     def publish(self, spec: TopicSpec, msg_id: int) -> None:
-        """Inject a fresh packet at the publisher's broker."""
-        destinations = frozenset(spec.subscriber_nodes)
+        """Inject a fresh packet at the publisher's broker.
+
+        The fan-out set comes from the workload's shared
+        :class:`~repro.pubsub.topics.SubscriptionIndex` when *spec* is the
+        workload's current spec for the topic — one indexed lookup instead
+        of rebuilding a frozenset per publish, which keeps publish cost
+        independent of subscriber count. Foreign specs (tests injecting
+        synthetic topics) fall back to the direct construction.
+        """
+        index = self.ctx.workload.index()
+        index.refresh()
+        if index._specs.get(spec.topic) is spec:
+            destinations = index._destinations[spec.topic]
+        else:
+            destinations = frozenset(spec.subscriber_nodes)
         destinations = self._deliver_local_at_origin(spec, msg_id, destinations)
         if not destinations:
             return

@@ -81,7 +81,7 @@ class NaiveOrderDcrdStrategy(DcrdStrategy):
 
     def on_subscription_added(self, topic: int, subscription) -> None:
         super().on_subscription_added(topic, subscription)
-        key = (topic, subscription.node)
+        key = (topic << 21) | subscription.node  # packed pair id
         self._tables[key] = reorder_table_by_delay(self._tables[key])
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import probes as _probes
@@ -53,57 +53,153 @@ class FrameKind(enum.Enum):
 
     # Enum's default __hash__ is a Python-level method; members are
     # singletons, so the C-level identity hash is equivalent for dict keys
-    # (LinkStats is indexed per frame on the hot path) and much cheaper.
-    # Determinism is unaffected: dicts iterate in insertion order, and no
-    # code orders FrameKind members by hash.
+    # and much cheaper. Determinism is unaffected: dicts iterate in
+    # insertion order, and no code orders FrameKind members by hash.
     __hash__ = object.__hash__
 
 
-@dataclass
+#: Dense index of each kind into the flat per-kind counter rows
+#: (:class:`LinkStats`); assigned as a member attribute so hot paths can
+#: translate a kind into a list slot with one attribute load.
+FrameKind.DATA.idx = 0
+FrameKind.ACK.idx = 1
+FrameKind.PROBE.idx = 2
+
+_DATA_IDX, _ACK_IDX = 0, 1
+
+
+class _KindCounters:
+    """Dict-like facade over one flat per-kind counter row.
+
+    The hot path owns the underlying list and increments
+    ``row[kind.idx]`` directly; this view preserves the historical mapping
+    API (``stats.sent[FrameKind.DATA]``, ``.values()``, ``.items()``) for
+    tests, metrics, and external consumers. Writes through the view reach
+    the same flat row.
+    """
+
+    __slots__ = ("_row",)
+
+    def __init__(self, row: list) -> None:
+        self._row = row
+
+    def __getitem__(self, kind: FrameKind):
+        return self._row[kind.idx]
+
+    def __setitem__(self, kind: FrameKind, value) -> None:
+        self._row[kind.idx] = value
+
+    def get(self, kind, default=None):
+        try:
+            return self._row[kind.idx]
+        except AttributeError:
+            return default
+
+    def __contains__(self, kind) -> bool:
+        return isinstance(kind, FrameKind)
+
+    def __len__(self) -> int:
+        return len(self._row)
+
+    def __iter__(self):
+        return iter(FrameKind)
+
+    def keys(self):
+        return tuple(FrameKind)
+
+    def values(self):
+        return tuple(self._row)
+
+    def items(self):
+        return tuple(zip(FrameKind, self._row))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _KindCounters):
+            return self._row == other._row
+        if isinstance(other, dict):
+            return dict(self.items()) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(dict(self.items()))
+
+
 class LinkStats:
-    """Aggregate transmission counters, per frame kind.
+    """Aggregate transmission counters, per frame kind — flat storage.
+
+    Counters live in preallocated parallel lists indexed by
+    ``FrameKind.idx`` (DATA=0, ACK=1, PROBE=2), so the per-frame hot path
+    performs one C-level list index instead of a dict probe per counter.
+    The historical per-kind mappings (``sent``, ``volume``, ``delivered``,
+    ...) remain available as :class:`_KindCounters` views over the same
+    rows.
 
     ``sent`` counts frames (the paper's packets metric); ``volume`` sums
     frame *sizes* (in units of one full message), which differs from the
     count only for FEC fragments.
     """
 
-    sent: Dict[FrameKind, int] = field(
-        default_factory=lambda: {kind: 0 for kind in FrameKind}
+    __slots__ = (
+        "_sent",
+        "_volume",
+        "_delivered",
+        "_lost_failure",
+        "_lost_random",
+        "_lost_node_down",
+        "_dropped_expired",
     )
-    volume: Dict[FrameKind, float] = field(
-        default_factory=lambda: {kind: 0.0 for kind in FrameKind}
-    )
-    delivered: Dict[FrameKind, int] = field(
-        default_factory=lambda: {kind: 0 for kind in FrameKind}
-    )
-    lost_failure: Dict[FrameKind, int] = field(
-        default_factory=lambda: {kind: 0 for kind in FrameKind}
-    )
-    lost_random: Dict[FrameKind, int] = field(
-        default_factory=lambda: {kind: 0 for kind in FrameKind}
-    )
-    lost_node_down: Dict[FrameKind, int] = field(
-        default_factory=lambda: {kind: 0 for kind in FrameKind}
-    )
-    dropped_expired: Dict[FrameKind, int] = field(
-        default_factory=lambda: {kind: 0 for kind in FrameKind}
-    )
+
+    def __init__(self) -> None:
+        self._sent = [0, 0, 0]
+        self._volume = [0.0, 0.0, 0.0]
+        self._delivered = [0, 0, 0]
+        self._lost_failure = [0, 0, 0]
+        self._lost_random = [0, 0, 0]
+        self._lost_node_down = [0, 0, 0]
+        self._dropped_expired = [0, 0, 0]
+
+    @property
+    def sent(self) -> _KindCounters:
+        return _KindCounters(self._sent)
+
+    @property
+    def volume(self) -> _KindCounters:
+        return _KindCounters(self._volume)
+
+    @property
+    def delivered(self) -> _KindCounters:
+        return _KindCounters(self._delivered)
+
+    @property
+    def lost_failure(self) -> _KindCounters:
+        return _KindCounters(self._lost_failure)
+
+    @property
+    def lost_random(self) -> _KindCounters:
+        return _KindCounters(self._lost_random)
+
+    @property
+    def lost_node_down(self) -> _KindCounters:
+        return _KindCounters(self._lost_node_down)
+
+    @property
+    def dropped_expired(self) -> _KindCounters:
+        return _KindCounters(self._dropped_expired)
 
     def data_sent(self) -> int:
         """Number of DATA-frame link transmissions (the paper's traffic metric)."""
-        return self.sent[FrameKind.DATA]
+        return self._sent[_DATA_IDX]
 
     def data_volume(self) -> float:
         """Size-weighted DATA traffic (equals :meth:`data_sent` without FEC)."""
-        return self.volume[FrameKind.DATA]
+        return self._volume[_DATA_IDX]
 
     def loss_fraction(self, kind: FrameKind) -> float:
         """Fraction of *kind* frames that did not arrive."""
-        sent = self.sent[kind]
+        sent = self._sent[kind.idx]
         if sent == 0:
             return 0.0
-        return 1.0 - self.delivered[kind] / sent
+        return 1.0 - self._delivered[kind.idx] / sent
 
 
 @dataclass(frozen=True)
@@ -245,6 +341,16 @@ class OverlayNetwork:
         self.service_time = service_time
         self.queue_discipline = queue_discipline
         self.stats = LinkStats()
+        # Flat per-kind counter rows, bound once: the hot path increments
+        # ``row[idx]`` (one C-level list index) instead of probing the
+        # facade mapping per frame.
+        stats = self.stats
+        self._sent = stats._sent
+        self._volume = stats._volume
+        self._delivered = stats._delivered
+        self._lost_failure = stats._lost_failure
+        self._lost_random = stats._lost_random
+        self._lost_node_down = stats._lost_node_down
         self.transmissions: list = []
         self._trace = trace
         self._loss_rng = streams.get("loss")
@@ -256,11 +362,23 @@ class OverlayNetwork:
         self._sim_heap = sim._heap
         self._sim_seq = sim._seq
         self._handlers: Dict[int, FrameHandler] = {}
+        # Dedicated ACK sinks (attach_ack): deliveries of ACK frames go
+        # straight to the sink, skipping the generic handler's per-frame
+        # class dispatch. Optional — nodes without one fall back to their
+        # generic handler, preserving the historical delivery contract.
+        self._ack_handlers: Dict[int, FrameHandler] = {}
+        # Fast-path ACK-loss subscribers (see register_ack_loss_observer).
+        self._ack_loss_observers: list = []
         # Hot-loop per-direction constants, keyed by the packed direction id
         # (src << 21 | dst): (propagation delay, effective loss, handler at
-        # dst, canonical edge). Resolved lazily on first use; cleared
-        # whenever handlers or loss rates change.
+        # dst, canonical edge, compiled DATA delivery closure or None,
+        # compiled ACK delivery closure or None). Resolved lazily on first
+        # use; cleared whenever handlers or loss rates change.
         self._dir_cache: Dict[int, tuple] = {}
+        #: Direction resolutions performed outside the interned table —
+        #: the facade-fallback count the flat-path perf layer reports.
+        #: :meth:`prewarm_directions` zeroes it after interning everything.
+        self.dir_fallbacks = 0
         # Current-epoch failed-edge set, refreshed when the clock crosses an
         # epoch boundary (equivalent to failures.is_failed per frame). Only
         # valid for the real epoch-granular FailureSchedule — duck-typed
@@ -282,6 +400,13 @@ class OverlayNetwork:
         self._edf_busy: Dict[tuple, bool] = {}
         self._edf_queued_size: Dict[tuple, float] = {}
         self._edf_seq = 0
+        # The dedicated send_data/send_ack fast paths only cover the
+        # infinite-capacity, no-crash, no-trace configuration (the paper's
+        # model and the benchmark scenario); everything else falls back to
+        # the generic transmit.
+        self._fast_sends = (
+            node_failures is None and service_time is None and not trace
+        )
 
     # ------------------------------------------------------------------
     # Wiring
@@ -293,24 +418,127 @@ class OverlayNetwork:
         self._handlers[node] = handler
         self._dir_cache.clear()
 
+    def attach_ack(self, node: int, handler: FrameHandler) -> None:
+        """Register a dedicated ACK sink for *node*.
+
+        ACK frames delivered to *node* are handed to ``handler(sender,
+        ack)`` directly, skipping the generic handler's per-frame class
+        dispatch. A node without an ACK sink keeps receiving ACKs through
+        its generic handler, so attaching one is a pure fast path.
+        """
+        if node not in self.topology.nodes:
+            raise SimulationError(f"node {node} is not in the topology")
+        self._ack_handlers[node] = handler
+        self._dir_cache.clear()
+
+    def register_ack_loss_observer(self, observer: Callable[[int], None]) -> None:
+        """Subscribe to synchronous ACK-send losses on the fast path.
+
+        *observer(transfer_id)* is invoked from :meth:`send_ack` at the
+        instant an ACK reply is lost to a link failure or the random-loss
+        draw. The ARQ layer uses this to materialise latent retransmission
+        timers only for copies whose ACK can no longer arrive, instead of
+        scheduling (and almost always cancelling) a timer per copy.
+        """
+        self._ack_loss_observers.append(observer)
+
+    def ack_round_trip(self, src: int, dst: int) -> Optional[tuple]:
+        """``(d_fwd, d_rev)`` when a DATA copy ``src -> dst`` and its ACK
+        reply both run on compiled fast-path deliveries, else ``None``.
+
+        The pair lets the ARQ layer decide *exactly* whether an unlossed
+        ACK's arrival event ``(now + d_fwd) + d_rev`` precedes a timeout
+        deadline (same float arithmetic the scheduler performs). Valid
+        while the attachment set is stable — the composition root attaches
+        every handler before the run and never detaches mid-run.
+        """
+        if not self._fast_sends:
+            return None
+        key = (src << 21) | dst
+        fwd = self._dir_cache.get(key)
+        if fwd is None:
+            fwd = self._resolve_direction(src, dst)
+        rkey = (dst << 21) | src
+        rev = self._dir_cache.get(rkey)
+        if rev is None:
+            rev = self._resolve_direction(dst, src)
+        if fwd[4] is None or rev[5] is None:
+            return None
+        return (fwd[0], rev[0])
+
     def detach(self, node: int) -> None:
-        """Remove *node*'s handler; frames to it are silently dropped."""
+        """Remove *node*'s handlers; frames to it are silently dropped."""
         self._handlers.pop(node, None)
+        self._ack_handlers.pop(node, None)
         self._dir_cache.clear()
 
     def _resolve_direction(self, src: int, dst: int) -> tuple:
-        """Build and memoise the per-direction hot-loop constants."""
+        """Build and memoise the per-direction hot-loop constants.
+
+        Besides the flat per-direction fields (delay, effective loss,
+        handler, canonical edge) the entry carries two *compiled delivery
+        closures* — one per data-plane frame kind — that capture the
+        direction's endpoints, the receiver's sink, and the flat delivered
+        row, so a scheduled delivery runs without re-resolving any of them.
+        Closures are only compiled when delivery is unconditional (a
+        handler exists and no node-crash schedule can interpose); other
+        directions keep the generic :meth:`_deliver` path. Handler changes
+        invalidate the whole table (attach/detach clear it), so compiled
+        closures are never stale for frames transmitted afterwards.
+        """
         if not self.topology.has_edge(src, dst):
             raise SimulationError(f"no overlay link {src} -> {dst}")
         cedge = canonical_edge(src, dst)
+        handler = self._handlers.get(dst)
+        deliver_data = deliver_ack = None
+        if handler is not None and self.node_failures is None:
+            sim = self.sim
+            delivered = self._delivered
+
+            def deliver_data(frame):
+                delivered[0] += 1
+                probe = _probes.on_arrive
+                if probe is not None:
+                    probe(sim._now, src, dst, frame)
+                handler(src, frame)
+
+            ack_sink = self._ack_handlers.get(dst)
+            if ack_sink is not None:
+
+                def deliver_ack(frame):
+                    delivered[1] += 1
+                    ack_sink(src, frame)
+
+            else:
+
+                def deliver_ack(frame):
+                    delivered[1] += 1
+                    handler(src, frame)
+
         entry = (
             self.topology.delay(src, dst),
             self.link_loss_rates.get(cedge, self.loss_rate),
-            self._handlers.get(dst),
+            handler,
             cedge,
+            deliver_data,
+            deliver_ack,
         )
         self._dir_cache[(src << 21) | dst] = entry
         return entry
+
+    def prewarm_directions(self) -> None:
+        """Intern every link direction, then zero the fallback counter.
+
+        Called by the composition root once all handlers are attached:
+        every directed link gets its flat entry (and compiled delivery
+        closures) built up front, so the run's timed region starts with a
+        fully interned direction table and :attr:`dir_fallbacks` counts
+        only true facade fallbacks during the run.
+        """
+        for u, v in self.topology.edges():
+            self._resolve_direction(u, v)
+            self._resolve_direction(v, u)
+        self.dir_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Data plane
@@ -332,26 +560,28 @@ class OverlayNetwork:
         """
         entry = self._dir_cache.get((src << 21) | dst)
         if entry is None:
+            self.dir_fallbacks += 1
             entry = self._resolve_direction(src, dst)
         delay: Optional[float] = entry[0]
         now = self.sim._now
         if kind is FrameKind.DATA:
+            kidx = 0
             # PacketFrame always carries size; tests transmit bare objects.
             try:
                 size = frame.size
             except AttributeError:
                 size = 1.0
         else:
+            kidx = kind.idx
             size = 1.0  # ACKs/probes are negligibly small (no size field)
-        stats = self.stats
-        stats.sent[kind] += 1
-        stats.volume[kind] += size
+        self._sent[kidx] += 1
+        self._volume[kidx] += size
         survived = True
         node_failures = self.node_failures
         if node_failures is not None and (
             node_failures.is_failed(src, now) or node_failures.is_failed(dst, now)
         ):
-            stats.lost_node_down[kind] += 1
+            self._lost_node_down[kidx] += 1
             survived = False
             cause = "node_down"
         else:
@@ -371,7 +601,7 @@ class OverlayNetwork:
                 else:
                     link_down = failures.is_failed(src, dst, now)
             if link_down:
-                stats.lost_failure[kind] += 1
+                self._lost_failure[kidx] += 1
                 survived = False
                 cause = "link_failure"
             else:
@@ -381,7 +611,7 @@ class OverlayNetwork:
                     and effective_loss > 0.0
                     and self._loss_draw() < effective_loss
                 ):
-                    stats.lost_random[kind] += 1
+                    self._lost_random[kidx] += 1
                     survived = False
                     cause = "random_loss"
         # Probe hook (observation-only, DATA frames only; ACK arrivals are
@@ -420,29 +650,189 @@ class OverlayNetwork:
             if delay is not None:
                 # Deliveries are never cancelled: inlined sim.schedule_fire
                 # (link delays are positive by construction, so the
-                # negative-delay guard is statically satisfied).
-                sim = self.sim
-                _heappush(
-                    self._sim_heap,
-                    (
-                        now + delay,
-                        next(self._sim_seq),
-                        self._deliver,
-                        (src, dst, frame, kind),
-                    ),
-                )
-                sim._live += 1
+                # negative-delay guard is statically satisfied). Directions
+                # with a compiled closure schedule it with a 1-tuple
+                # payload; the rest take the generic _deliver.
+                if kind is FrameKind.DATA:
+                    deliver = entry[4]
+                elif kind is FrameKind.ACK:
+                    deliver = entry[5]
+                else:
+                    deliver = None
+                if deliver is not None:
+                    _heappush(
+                        self._sim_heap,
+                        (now + delay, next(self._sim_seq), deliver, (frame,)),
+                    )
+                else:
+                    _heappush(
+                        self._sim_heap,
+                        (
+                            now + delay,
+                            next(self._sim_seq),
+                            self._deliver,
+                            (src, dst, frame, kind),
+                        ),
+                    )
+                self.sim._live += 1
         elif probe_tx is not None:
             probe_tx(now, src, dst, frame, False, cause, entry[0], None)
         if self._trace:
             self.transmissions.append(Transmission(now, src, dst, kind, survived))
         return survived
 
+    def send_data(self, src: int, dst: int, frame: Any) -> Optional[bool]:
+        """DATA-frame fast path for the ARQ layer (PacketFrames only).
+
+        Behaviour-identical to ``transmit(src, dst, frame,
+        FrameKind.DATA)`` restricted to the configuration it is specialised
+        for — infinite-capacity links, no node-crash schedule, no
+        transmission trace (:attr:`_fast_sends`); anything else delegates
+        to the generic path. Consumes the same loss draws in the same
+        order and fires the same ``on_transmit`` probe.
+
+        Returns ``True`` when a compiled delivery closure was scheduled
+        (the copy *will* reach the receiver's handler), ``False`` when the
+        copy was lost synchronously, and ``None`` when the outcome is not
+        knowable here (generic fallback). The ARQ layer keys its latent
+        timer elision off this tri-state.
+        """
+        if not self._fast_sends:
+            self.transmit(src, dst, frame, FrameKind.DATA)
+            return None
+        entry = self._dir_cache.get((src << 21) | dst)
+        if entry is None:
+            self.dir_fallbacks += 1
+            entry = self._resolve_direction(src, dst)
+        now = self.sim._now
+        self._sent[0] += 1
+        self._volume[0] += frame.size
+        failures = self.failures
+        if failures is not None:
+            if self._epoch_failures:
+                if now >= self._failure_window_end:
+                    epoch = int(now // self._failure_epoch_len)
+                    self._failure_window_end = (epoch + 1) * self._failure_epoch_len
+                    self._failed_edges_now = failures.failed_edges(epoch)
+                link_down = entry[3] in self._failed_edges_now
+            else:
+                link_down = failures.is_failed(src, dst, now)
+            if link_down:
+                self._lost_failure[0] += 1
+                probe_tx = _probes.on_transmit
+                if probe_tx is not None:
+                    probe_tx(
+                        now, src, dst, frame, False, "link_failure", entry[0], None
+                    )
+                return False
+        effective_loss = entry[1]
+        if effective_loss > 0.0 and self._loss_draw() < effective_loss:
+            self._lost_random[0] += 1
+            probe_tx = _probes.on_transmit
+            if probe_tx is not None:
+                probe_tx(now, src, dst, frame, False, "random_loss", entry[0], None)
+            return False
+        probe_tx = _probes.on_transmit
+        if probe_tx is not None:
+            probe_tx(now, src, dst, frame, True, None, entry[0], 0.0)
+        deliver = entry[4]
+        if deliver is not None:
+            _heappush(
+                self._sim_heap,
+                (now + entry[0], next(self._sim_seq), deliver, (frame,)),
+            )
+            self.sim._live += 1
+            return True
+        self.dir_fallbacks += 1
+        _heappush(
+            self._sim_heap,
+            (
+                now + entry[0],
+                next(self._sim_seq),
+                self._deliver,
+                (src, dst, frame, FrameKind.DATA),
+            ),
+        )
+        self.sim._live += 1
+        return None
+
+    def send_ack(self, src: int, dst: int, frame: Any) -> Optional[bool]:
+        """ACK-frame fast path for broker replies.
+
+        Behaviour-identical to ``transmit(src, dst, frame,
+        FrameKind.ACK)`` under :attr:`_fast_sends` (ACKs never queue and
+        never fire the DATA-only transmit probe); the same loss draws are
+        consumed in the same order. Synchronous losses additionally notify
+        the registered ACK-loss observers (see
+        :meth:`register_ack_loss_observer`) so the ARQ layer can
+        materialise the copy's latent retransmission timer. The tri-state
+        return mirrors :meth:`send_data`.
+        """
+        if not self._fast_sends:
+            self.transmit(src, dst, frame, FrameKind.ACK)
+            return None
+        entry = self._dir_cache.get((src << 21) | dst)
+        if entry is None:
+            self.dir_fallbacks += 1
+            entry = self._resolve_direction(src, dst)
+        now = self.sim._now
+        self._sent[1] += 1
+        self._volume[1] += 1.0
+        failures = self.failures
+        if failures is not None:
+            if self._epoch_failures:
+                if now >= self._failure_window_end:
+                    epoch = int(now // self._failure_epoch_len)
+                    self._failure_window_end = (epoch + 1) * self._failure_epoch_len
+                    self._failed_edges_now = failures.failed_edges(epoch)
+                link_down = entry[3] in self._failed_edges_now
+            else:
+                link_down = failures.is_failed(src, dst, now)
+            if link_down:
+                self._lost_failure[1] += 1
+                self._notify_ack_loss(frame)
+                return False
+        effective_loss = entry[1]
+        if effective_loss > 0.0 and self._loss_draw() < effective_loss:
+            self._lost_random[1] += 1
+            self._notify_ack_loss(frame)
+            return False
+        deliver = entry[5]
+        if deliver is not None:
+            _heappush(
+                self._sim_heap,
+                (now + entry[0], next(self._sim_seq), deliver, (frame,)),
+            )
+            self.sim._live += 1
+            return True
+        self.dir_fallbacks += 1
+        _heappush(
+            self._sim_heap,
+            (
+                now + entry[0],
+                next(self._sim_seq),
+                self._deliver,
+                (src, dst, frame, FrameKind.ACK),
+            ),
+        )
+        self.sim._live += 1
+        return None
+
+    def _notify_ack_loss(self, frame: Any) -> None:
+        observers = self._ack_loss_observers
+        if not observers:
+            return
+        transfer_id = getattr(frame, "transfer_id", None)
+        if transfer_id is None:
+            return
+        for observer in observers:
+            observer(transfer_id)
+
     def _deliver(self, src: int, dst: int, frame: Any, kind: FrameKind) -> None:
         # A node that crashed while the frame was in flight cannot receive it.
         node_failures = self.node_failures
         if node_failures is not None and node_failures.is_failed(dst, self.sim._now):
-            self.stats.lost_node_down[kind] += 1
+            self._lost_node_down[kind.idx] += 1
             if kind is FrameKind.DATA:
                 probe = _probes.on_arrival_drop
                 if probe is not None:
@@ -457,7 +847,7 @@ class OverlayNetwork:
                 if probe is not None:
                     probe(self.sim._now, src, dst, frame, "no_handler")
             return
-        self.stats.delivered[kind] += 1
+        self._delivered[kind.idx] += 1
         if kind is FrameKind.DATA:
             probe = _probes.on_arrive
             if probe is not None:
@@ -495,7 +885,7 @@ class OverlayNetwork:
             prop = entry[0] if entry is not None else self.topology.delay(*key)
             while queue and queue[0][0] < now + prop:
                 _, _, dropped, kind, size = heapq.heappop(queue)
-                self.stats.dropped_expired[kind] += 1
+                self.stats._dropped_expired[kind.idx] += 1
                 self._edf_queued_size[key] -= size
                 probe = _probes.on_expire
                 if probe is not None:

@@ -20,11 +20,15 @@ that are identical across DCRD and the baselines:
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Deque, Dict, Set
 
 from repro import probes as _probes
 from repro.overlay.links import FrameKind
 from repro.pubsub.messages import AckFrame, PacketFrame
+
+# Bare allocation for the per-frame ACK reply (slots written in place).
+_new_ack = object.__new__
 from repro.routing.base import RoutingStrategy, RuntimeContext
 from repro.util.errors import SimulationError
 
@@ -48,34 +52,46 @@ class BrokerRuntime:
         self._uses_acks = strategy.uses_acks
         self._handle_ack = strategy.handle_ack
         self._handle_data = strategy.handle_data
+        # ACK replies go through the network's dedicated ACK fast path when
+        # it offers one (test doubles may not).
+        send_ack = getattr(ctx.network, "send_ack", None)
+        if send_ack is None:
+            network_transmit = ctx.network.transmit
+
+            def send_ack(src: int, dst: int, ack: AckFrame) -> None:
+                network_transmit(src, dst, ack, FrameKind.ACK)
+
+        self._send_ack = send_ack
         self._seen: Set[int] = set()
         self._seen_order: Deque[int] = deque()
         # FEC reassembly: msg_id -> set of distinct fragment indices seen.
         self._fragments: Dict[int, Set[int]] = {}
         self._fragment_order: Deque[int] = deque()
-        self._local_topics: Set[int] = set()
-        self._workload_version = -1
-        self._refresh_local_topics()
+        # Shared subscription subgroups: one solve-time aggregation over
+        # the workload replaces the per-broker local-topic set scan; the
+        # local-delivery test is one indexed membership probe.
+        self._subindex = ctx.workload.index()
+        # Precomputed singleton for the destination-stripping difference.
+        self._self_set = frozenset((node,))
         self.frames_received = 0
         self.duplicates_suppressed = 0
         self.local_deliveries = 0
         ctx.network.attach(node, self.on_frame)
-
-    def _refresh_local_topics(self) -> None:
-        """Re-derive the local subscription set after workload churn."""
-        self._workload_version = self.ctx.workload.version
-        self._local_topics = {
-            spec.topic
-            for spec in self.ctx.workload.topics
-            if self.node in spec.subscriber_nodes
-        }
+        attach_ack = getattr(ctx.network, "attach_ack", None)
+        if attach_ack is not None:
+            # partial(handle_ack, node) prepends this node in C — no
+            # Python wrapper frame on the per-ACK path.
+            attach_ack(node, partial(self._handle_ack, node))
 
     @property
     def local_topics(self) -> Set[int]:
         """Topics with a subscriber hosted on this broker."""
-        if self._workload_version != self.ctx.workload.version:
-            self._refresh_local_topics()
-        return set(self._local_topics)
+        index = self._subindex
+        index.refresh()
+        node = self.node
+        return {
+            topic for topic, members in index._members.items() if node in members
+        }
 
     # ------------------------------------------------------------------
     def on_frame(self, sender: int, frame: object) -> None:
@@ -89,8 +105,13 @@ class BrokerRuntime:
         self.frames_received += 1
         node = self.node
         if self._uses_acks:
-            ack = AckFrame(frame.msg_id, node, frame.transfer_id)
-            self._network.transmit(node, sender, ack, FrameKind.ACK)
+            # Slot-written AckFrame (no __init__ frame) — one reply per
+            # received DATA copy makes this one of the hottest allocations.
+            ack = _new_ack(AckFrame)
+            ack.msg_id = frame.msg_id
+            ack.acker = node
+            ack.transfer_id = frame.transfer_id
+            self._send_ack(node, sender, ack)
         # Duplicate suppression (inlined: one bounded seen-set probe on the
         # dedup key, which is the globally unique transfer id).
         key = frame.transfer_id
@@ -115,23 +136,31 @@ class BrokerRuntime:
         # then forward whatever destinations remain.
         destinations = frame.destinations
         if node in destinations:
-            if self._workload_version != self._workload.version:
-                self._refresh_local_topics()
-            if frame.topic in self._local_topics and (
-                frame.fragments_needed <= 0 or self._decodable(frame)
+            # Subscription-subgroup lookup: one indexed membership probe
+            # against the shared per-topic subscriber set, instead of a
+            # per-broker local-topic scan kept fresh per broker.
+            index = self._subindex
+            if index.version != self._workload.version:
+                index._rebuild()
+            index.lookups += 1
+            members = index._members.get(frame.topic)
+            if (
+                members is not None
+                and node in members
+                and (frame.fragments_needed <= 0 or self._decodable(frame))
             ):
                 first = self._metrics.record_delivery(
                     frame.msg_id,
                     node,
                     self._sim._now,
-                    hops=len(frame.routing_path),
+                    len(frame.routing_path),
                 )
                 if first:
                     self.local_deliveries += 1
                     probe = _probes.on_deliver
                     if probe is not None:
                         probe(self._sim._now, node, frame)
-            destinations = destinations - {node}
+            destinations = destinations - self._self_set
             if not destinations:
                 return
             frame = frame.with_destinations(destinations)
@@ -154,4 +183,4 @@ class BrokerRuntime:
         return len(seen) >= frame.fragments_needed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"BrokerRuntime(node={self.node}, topics={sorted(self._local_topics)})"
+        return f"BrokerRuntime(node={self.node}, topics={sorted(self.local_topics)})"

@@ -53,13 +53,24 @@ class PublisherProcess:
             self.stop()
             return
         # Re-read the topic spec each tick: subscriber churn replaces the
-        # TopicSpec object inside the workload at runtime.
-        spec = self.ctx.workload.topic(self.spec.topic)
+        # TopicSpec object inside the workload at runtime. The shared
+        # SubscriptionIndex answers both the spec lookup and the deadline
+        # map with one indexed access per tick (instead of a list scan
+        # plus a rebuilt dict per publish), so publish cost stays
+        # independent of subscriber count.
+        topic = self.spec.topic
+        index = self.ctx.workload.index()
+        index.refresh()
+        spec = index._specs.get(topic)
+        if spec is not None:
+            deadlines = index._deadlines[topic]
+        else:
+            spec = self.ctx.workload.topic(topic)  # unknown-topic KeyError
+            deadlines = {sub.node: sub.deadline for sub in spec.subscriptions}
         self.spec = spec
         if not spec.subscriptions:
             return
         msg_id = next_message_id()
-        deadlines = {sub.node: sub.deadline for sub in spec.subscriptions}
-        self.ctx.metrics.expect(msg_id, spec.topic, now, deadlines)
+        self.ctx.metrics.expect(msg_id, topic, now, deadlines)
         self.strategy.publish(spec, msg_id)
         self.published += 1

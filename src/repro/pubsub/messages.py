@@ -203,7 +203,7 @@ class PacketFrame:
         """
         copy = _new_frame(PacketFrame)
         copy.msg_id = self.msg_id
-        copy.transfer_id = next_transfer_id()
+        copy.transfer_id = next(_transfer_counter)
         copy.topic = self.topic
         copy.origin = self.origin
         copy.publish_time = self.publish_time

@@ -65,6 +65,106 @@ class TopicSpec:
         raise KeyError(f"node {node} does not subscribe to topic {self.topic}")
 
 
+class SubscriptionIndex:
+    """Solve-time aggregation of the workload's subscriber sets.
+
+    The broker data plane answers the same three questions for every
+    arriving frame — *is this node subscribed to this topic?*, *who are all
+    the subscribers?*, *what are their deadlines?* — and before this index
+    existed each broker derived its own answer by iterating subscription
+    specs. The index aggregates them once per workload version into flat
+    per-topic structures shared by every broker:
+
+    * ``members(topic)`` — a frozenset (int-set) of subscriber broker ids,
+      giving O(1) membership subgroup lookups;
+    * ``bits(topic)`` — the same subgroup as an int bitmap (bit *n* set iff
+      broker *n* subscribes), the compact form equivalence tests compare
+      against brute-force iteration;
+    * ``destinations(topic)`` / ``deadlines(topic)`` — the publish-time
+      fan-out set and deadline map, cached so one publish resolves all
+      subscribers with one indexed lookup instead of rebuilding
+      per-subscription collections.
+
+    The index rebuilds lazily when :attr:`Workload.version` moves (churn),
+    so steady-state lookups never touch the specs. ``lookups`` counts
+    subgroup membership queries for the perf layer.
+    """
+
+    __slots__ = (
+        "workload",
+        "version",
+        "lookups",
+        "_specs",
+        "_members",
+        "_bits",
+        "_destinations",
+        "_deadlines",
+    )
+
+    def __init__(self, workload: "Workload") -> None:
+        self.workload = workload
+        self.version = -1
+        self.lookups = 0
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Re-aggregate every per-topic subgroup (one pass over the specs)."""
+        self.version = self.workload.version
+        self._specs: Dict[int, TopicSpec] = {}
+        self._members: Dict[int, frozenset] = {}
+        self._bits: Dict[int, int] = {}
+        self._destinations: Dict[int, frozenset] = {}
+        self._deadlines: Dict[int, Dict[int, float]] = {}
+        for spec in self.workload.topics:
+            topic = spec.topic
+            nodes = spec.subscriber_nodes
+            members = frozenset(nodes)
+            bits = 0
+            for node in nodes:
+                bits |= 1 << node
+            self._specs[topic] = spec
+            self._members[topic] = members
+            self._bits[topic] = bits
+            self._destinations[topic] = members
+            self._deadlines[topic] = {
+                sub.node: sub.deadline for sub in spec.subscriptions
+            }
+
+    def refresh(self) -> None:
+        """Rebuild if the workload churned since the last aggregation."""
+        if self.version != self.workload.version:
+            self._rebuild()
+
+    def spec(self, topic: int) -> TopicSpec:
+        """O(1) topic lookup (the list scan only runs on rebuild)."""
+        self.refresh()
+        try:
+            return self._specs[topic]
+        except KeyError:
+            raise KeyError(f"unknown topic {topic}") from None
+
+    def members(self, topic: int) -> frozenset:
+        """Subscriber broker ids of *topic* as a frozenset (empty if unknown)."""
+        self.refresh()
+        self.lookups += 1
+        return self._members.get(topic, frozenset())
+
+    def bits(self, topic: int) -> int:
+        """Subscriber subgroup of *topic* as an int bitmap (0 if unknown)."""
+        self.refresh()
+        return self._bits.get(topic, 0)
+
+    def destinations(self, topic: int) -> frozenset:
+        """The publish-time fan-out set of *topic* (cached frozenset)."""
+        self.refresh()
+        return self._destinations[topic]
+
+    def deadlines(self, topic: int) -> Dict[int, float]:
+        """Per-subscriber deadline map of *topic* (cached; treat as read-only)."""
+        self.refresh()
+        return self._deadlines[topic]
+
+
 @dataclass
 class Workload:
     """The full pub/sub population of one experiment.
@@ -72,11 +172,25 @@ class Workload:
     The population may change at runtime (subscriber churn):
     :meth:`add_subscription` / :meth:`remove_subscription` swap the affected
     :class:`TopicSpec` for an updated copy and bump :attr:`version` so
-    cached views (broker-local topic sets) can refresh lazily.
+    cached views (broker-local topic sets, the shared
+    :class:`SubscriptionIndex`) can refresh lazily.
     """
 
     topics: List[TopicSpec] = field(default_factory=list)
     version: int = 0
+
+    def index(self) -> SubscriptionIndex:
+        """The shared :class:`SubscriptionIndex` over this workload.
+
+        Created on first use and cached on the instance; the index itself
+        refreshes lazily via :attr:`version`, so callers may hold it for
+        the whole run.
+        """
+        try:
+            return self._index
+        except AttributeError:
+            self._index = SubscriptionIndex(self)
+            return self._index
 
     @property
     def num_topics(self) -> int:

@@ -60,7 +60,10 @@ class MonitorTimeoutPolicy:
 
     def __init__(self, ctx: RuntimeContext) -> None:
         self.ctx = ctx
-        self._cache: Dict[Tuple[int, int], float] = {}
+        # Keyed by the packed direction id (src << 21 | dst) — the same
+        # interning the overlay's direction table uses — so the per-copy
+        # lookup hashes one int instead of allocating a tuple.
+        self._cache: Dict[int, float] = {}
         self._cache_version = -1
 
     def timeout(self, src: int, dst: int) -> float:
@@ -69,7 +72,7 @@ class MonitorTimeoutPolicy:
         if monitor.version != self._cache_version:
             self._cache.clear()
             self._cache_version = monitor.version
-        key = (src, dst)
+        key = (src << 21) | dst
         value = self._cache.get(key)
         if value is None:
             alpha = monitor.estimate(src, dst).alpha
@@ -82,9 +85,26 @@ class MonitorTimeoutPolicy:
 
 
 class _Outstanding:
-    """One unacknowledged frame copy and its retry state."""
+    """One unacknowledged frame copy and its retry state.
 
-    __slots__ = ("src", "dst", "frame", "attempts", "event", "on_acked", "on_failed", "sent_at")
+    ``latent_seq >= 0`` marks a *latent* timeout: the kernel sequence
+    number and deadline were reserved at transmit time, but no heap entry
+    exists yet — it is pushed (with the reserved ``(time, seq)`` key, so
+    the schedule is unchanged) only if the copy's ACK is lost.
+    """
+
+    __slots__ = (
+        "src",
+        "dst",
+        "frame",
+        "attempts",
+        "event",
+        "on_acked",
+        "on_failed",
+        "sent_at",
+        "latent_time",
+        "latent_seq",
+    )
 
     def __init__(
         self,
@@ -102,6 +122,8 @@ class _Outstanding:
         self.on_acked = on_acked
         self.on_failed = on_failed
         self.sent_at = 0.0
+        self.latent_time = 0.0
+        self.latent_seq = -1
 
 
 class ArqSender:
@@ -118,6 +140,16 @@ class ArqSender:
         # The policy and the retry budget are fixed at construction.
         self._sim = ctx.sim
         self._network = ctx.network
+        # DATA copies go out through the network's specialised fast path
+        # when it offers one (test doubles may not).
+        send_data = getattr(ctx.network, "send_data", None)
+        if send_data is None:
+            network_transmit = ctx.network.transmit
+
+            def send_data(src: int, dst: int, frame: PacketFrame) -> None:
+                network_transmit(src, dst, frame, FrameKind.DATA)
+
+        self._send_data = send_data
         self._timeout = self.timeout_policy.timeout
         self._m = ctx.params.m
         # Karn-filtered RTT samples cost a clock read per ACK; skip the whole
@@ -133,12 +165,68 @@ class ArqSender:
         self._sim_seq = ctx.sim._seq
         self._on_event_cancelled = ctx.sim._on_event_cancelled
         self._outstanding: Dict[int, _Outstanding] = {}
+        # Latent-timer elision (opt-in, see enable_timer_elision): per
+        # packed direction id, the exact (d_fwd, d_rev) delay pair when
+        # both the copy and its ACK reply run compiled fast-path
+        # deliveries, else False.
+        self._elide_timers = False
+        self._rt_cache: Dict[int, object] = {}
+        # Unified per-direction transmit constants for the static timeout
+        # policy: packed direction id -> (timeout, rt_pair_or_False),
+        # invalidated when the monitor publishes new estimates. One dict
+        # probe per copy replaces the policy call plus the rt lookup.
+        self._static_timeout = type(self.timeout_policy) is MonitorTimeoutPolicy
+        self._monitor = ctx.monitor
+        self._dir_info: Dict[int, tuple] = {}
+        self._dir_version = -1
         self.acked = 0
         self.failed = 0
         self.retransmissions = 0
         #: ACK-timeout events cancelled because the ACK arrived first (each
-        #: one leaves a tombstone for the kernel's heap compaction to reap).
+        #: one leaves a tombstone for the kernel's heap compaction to reap —
+        #: latent timers settled by their ACK count here too, for parity).
         self.timers_cancelled = 0
+        #: Timeouts that stayed latent: their (time, seq) was reserved but
+        #: no heap entry was ever pushed because the ACK settled the copy.
+        self.timers_elided = 0
+
+    def enable_timer_elision(self) -> None:
+        """Opt in to latent ACK-timeout timers (composition-root only).
+
+        Elision assumes the receiving side ACKs every delivered DATA frame
+        synchronously on arrival — true when every node hosts a
+        :class:`~repro.pubsub.broker.BrokerRuntime` and the active strategy
+        has ``uses_acks`` — and that handler attachments are stable for the
+        rest of the run. Unit harnesses that drive ACKs by hand must stay
+        on the default eager timers.
+
+        A copy's timeout is elided only when its send reports a definite
+        *delivered* outcome and the ACK's arrival event provably precedes
+        the timeout deadline (exact float comparison against the round-trip
+        schedule); the reserved kernel sequence number keeps the event
+        schedule bit-identical either way. Lost ACKs materialise the timer
+        via the network's ACK-loss observer hook.
+        """
+        network = self.ctx.network
+        register = getattr(network, "register_ack_loss_observer", None)
+        if register is None or getattr(network, "ack_round_trip", None) is None:
+            return
+        register(self._on_ack_send_lost)
+        self._elide_timers = True
+
+    def _on_ack_send_lost(self, transfer_id: int) -> None:
+        """Materialise the latent timeout of a copy whose ACK was lost."""
+        entry = self._outstanding.get(transfer_id)
+        if entry is None or entry.event is not None or entry.latent_seq < 0:
+            return
+        time = entry.latent_time
+        seq = entry.latent_seq
+        entry.latent_seq = -1
+        entry.event = event = Event(
+            time, seq, self._on_timeout, (entry,), self._on_event_cancelled
+        )
+        _heappush(self._sim_heap, (time, seq, event))
+        self._sim._live += 1
 
     @property
     def in_flight(self) -> int:
@@ -178,6 +266,12 @@ class ArqSender:
             if probe is None or probe(event.seq) is not False:
                 event.cancel()
                 self.timers_cancelled += 1
+        elif entry.latent_seq >= 0:
+            # Latent timeout settled by its ACK: nothing to cancel — the
+            # timer was never pushed. Count it as a cancellation so the
+            # ARQ counters read the same with elision on or off.
+            entry.latent_seq = -1
+            self.timers_cancelled += 1
         self.acked += 1
         probe = _probes.on_ack
         if probe is not None:
@@ -199,9 +293,64 @@ class ArqSender:
             entry.sent_at = sim._now
         src = entry.src
         dst = entry.dst
-        self._network.transmit(src, dst, entry.frame, FrameKind.DATA)
-        time = sim._now + self._timeout(src, dst)
+        outcome = self._send_data(src, dst, entry.frame)
+        key = (src << 21) | dst
+        if self._static_timeout:
+            # Unified per-direction constants: timeout value and the exact
+            # round-trip delay pair in one dict probe, refreshed when the
+            # monitor version moves (same invalidation rule as the
+            # policy's own cache — the timeout is a pure function of the
+            # current alpha estimate).
+            monitor = self._monitor
+            if monitor.version != self._dir_version:
+                self._dir_info.clear()
+                self._dir_version = monitor.version
+            info = self._dir_info.get(key)
+            if info is None:
+                timeout = self.ctx.params.ack_timeout(
+                    monitor.estimate(src, dst).alpha
+                )
+                pair: object = False
+                if self._elide_timers:
+                    rt = self._network.ack_round_trip(src, dst)
+                    if rt is not None:
+                        pair = rt
+                info = (timeout, pair)
+                self._dir_info[key] = info
+            time = sim._now + info[0]
+            pair = info[1]
+        else:
+            time = sim._now + self._timeout(src, dst)
+            pair = False
+            if outcome and self._elide_timers:
+                pair = self._rt_cache.get(key)
+                if pair is None:
+                    pair = self._network.ack_round_trip(src, dst)
+                    if pair is None:
+                        pair = False
+                    self._rt_cache[key] = pair
         seq = next(self._sim_seq)
+        if (
+            outcome
+            and pair is not False
+            # The copy will reach the receiver; its ACK either arrives
+            # (settling the entry before the deadline) or is lost, which
+            # the network reports synchronously via _on_ack_send_lost.
+            # The exact float comparison below proves the unlossed ACK's
+            # arrival event — scheduled at (now + d_fwd) + d_rev with a
+            # later seq — pops strictly before the (time, seq) deadline,
+            # so keeping the timer latent cannot change the schedule.
+            and (sim._now + pair[0]) + pair[1] < time
+            and _probes.on_timer_started is None
+            and _probes.on_timer_cancelled is None
+            and _probes.on_timer_fired is None
+        ):
+            entry.event = None
+            entry.latent_time = time
+            entry.latent_seq = seq
+            self.timers_elided += 1
+            return
+        entry.latent_seq = -1
         entry.event = event = Event(
             time, seq, self._on_timeout, (entry,), self._on_event_cancelled
         )

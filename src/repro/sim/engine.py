@@ -34,6 +34,7 @@ from __future__ import annotations
 import gc
 import heapq
 import itertools
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro import probes as _probes
@@ -145,6 +146,9 @@ class Simulator:
         self.heap_compactions = 0
         #: Cancelled entries removed by compaction (instead of surfacing).
         self.tombstones_reaped = 0
+        #: Accumulated wall-clock seconds spent inside :meth:`run`
+        #: (observation only — feeds the perf layer's events/s figure).
+        self.run_wall_s = 0.0
 
     def _on_event_cancelled(self) -> None:
         self._live -= 1
@@ -273,6 +277,7 @@ class Simulator:
         # default) keeps the loop body at a single local load + identity
         # check per event regardless of how many observers are attached.
         on_event_pop = _probes.on_event_pop
+        wall_start = _perf_counter()
         try:
             while heap:
                 entry = heap[0]
@@ -304,6 +309,7 @@ class Simulator:
             if until is not None and self._now < until:
                 self._now = until
         finally:
+            self.run_wall_s += _perf_counter() - wall_start
             self._processed += executed
             self._running = False
             if gc_was_enabled:

@@ -266,6 +266,66 @@ class DelayBreakdown:
         }
 
 
+def _nudge_remainder(
+    total: float, queueing: float, timeout_wait: float, retransmission: float
+) -> Tuple[float, bool]:
+    """Correctly-rounded remainder, nudged until ``fsum`` lands on *total*.
+
+    The remainder is the correctly-rounded value of the exact difference,
+    so ``math.fsum`` over the four components usually lands back on
+    ``total`` exactly: the representation error of the remainder is below
+    half an ulp of ``total``, inside fsum's final rounding. (Plain
+    left-to-right ``+`` cannot guarantee this — its rounding granularity
+    can straddle ``total`` without ever hitting it.) Returns the remainder
+    and whether exactness was reached.
+    """
+    transmission = math.fsum((total, -queueing, -timeout_wait, -retransmission))
+    for _ in range(4):
+        residual = total - math.fsum(
+            (transmission, queueing, timeout_wait, retransmission)
+        )
+        if residual == 0.0:
+            return transmission, True
+        transmission = math.nextafter(
+            transmission, math.inf if residual > 0.0 else -math.inf
+        )
+    return transmission, False
+
+
+def _exact_components(
+    total: float, queueing: float, timeout_wait: float, retransmission: float
+) -> Tuple[float, float, float, float]:
+    """Components ``(transmission, queueing, timeout_wait, retransmission)``
+    whose ``math.fsum`` equals *total* exactly.
+
+    ``transmission`` is solved as the correctly-rounded remainder. In rare
+    worlds the exact sum sits precisely on a round-half-to-even tie between
+    two doubles straddling ``total``: stepping the remainder by one ulp
+    then jumps the rounded sum *over* ``total`` without ever hitting it.
+    When that happens the tie is broken by moving the smallest-magnitude
+    nonzero measured component one ulp: that component is at most
+    ``total / 2``, so its ulp is at most half of ``total``'s and the
+    shifted sum rounds exactly. All adjustments are ≤ 1 ulp — far below
+    the simulation's timing granularity.
+    """
+    transmission, exact = _nudge_remainder(
+        total, queueing, timeout_wait, retransmission
+    )
+    if not exact:
+        measured = [queueing, timeout_wait, retransmission]
+        nonzero = [i for i, v in enumerate(measured) if v != 0.0]
+        if nonzero:
+            smallest = min(nonzero, key=lambda i: abs(measured[i]))
+            for direction in (-math.inf, math.inf):
+                trial = list(measured)
+                trial[smallest] = math.nextafter(measured[smallest], direction)
+                transmission, exact = _nudge_remainder(total, *trial)
+                if exact:
+                    queueing, timeout_wait, retransmission = trial
+                    break
+    return transmission, queueing, timeout_wait, retransmission
+
+
 class FrameTracer:
     """Structured per-frame lifecycle recorder; install via :data:`ACTIVE`.
 
@@ -715,24 +775,9 @@ class FrameTracer:
             retransmission += hop.send_tx - hop.first_tx
             queueing += hop.queueing
             reached = hop.arrival
-        # The remainder is the correctly-rounded value of the exact
-        # difference, so ``math.fsum`` over the four components lands back
-        # on ``total`` exactly: the representation error of ``transmission``
-        # is below half an ulp of ``total``, inside fsum's final rounding.
-        # (Plain left-to-right ``+`` cannot guarantee this — its rounding
-        # granularity can straddle ``total`` without ever hitting it.)
-        transmission = math.fsum(
-            (total, -queueing, -timeout_wait, -retransmission)
+        transmission, queueing, timeout_wait, retransmission = _exact_components(
+            total, queueing, timeout_wait, retransmission
         )
-        for _ in range(4):  # half-ulp tie safety net; never loops in practice
-            residual = total - math.fsum(
-                (transmission, queueing, timeout_wait, retransmission)
-            )
-            if residual == 0.0:
-                break
-            transmission = math.nextafter(
-                transmission, math.inf if residual > 0.0 else -math.inf
-            )
         return DelayBreakdown(
             total=total,
             transmission=transmission,

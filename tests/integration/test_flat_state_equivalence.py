@@ -1,0 +1,224 @@
+"""Equivalence suite for the flat index-addressed data-plane state.
+
+The mega-scale data plane keeps per-link and per-subscription hot state in
+flat, integer-indexed storage (packed direction ids -> interned per-link
+rows; per-topic subscriber subgroups aggregated once per workload
+version), with the historical object layer reduced to facade views over
+the same rows. These tests pin the equivalences that restructuring must
+preserve:
+
+* the facade mappings (``stats.sent[kind]``...) and the flat counter rows
+  are the *same* storage, in both directions, before and after real runs;
+* packed direction ids are a pure function of the topology — identical
+  across independent rebuilds of the same world;
+* subscription-subgroup bitmaps match brute-force aggregation over the
+  raw specs, and follow churn;
+* a sanitized + traced run stays on the interned flat path (zero facade
+  fallbacks) while the observation layers see every event;
+* ARQ latent-timer elision is outcome-invariant: an eager-timer run and
+  an eliding run produce bit-identical summaries and outcomes.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import build_environment
+from repro.overlay.links import FrameKind
+from repro.pubsub.topics import Subscription
+
+CONFIGS = {
+    "lossy_mesh": ExperimentConfig(
+        topology_kind="full_mesh",
+        num_nodes=12,
+        loss_rate=0.05,
+        failure_probability=0.06,
+        duration=8.0,
+    ),
+    "regular": ExperimentConfig(
+        topology_kind="regular",
+        num_nodes=20,
+        degree=5,
+        loss_rate=1e-3,
+        failure_probability=0.06,
+        duration=8.0,
+    ),
+}
+
+
+def _pack(src: int, dst: int) -> int:
+    return (src << 21) | dst
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_facade_views_alias_flat_rows_after_run(name):
+    """After a real lossy run, every facade mapping IS its flat row."""
+    env = build_environment(CONFIGS[name], "DCRD", seed=3)
+    env.execute()
+    stats = env.ctx.network.stats
+    pairs = [
+        (stats.sent, stats._sent),
+        (stats.volume, stats._volume),
+        (stats.delivered, stats._delivered),
+        (stats.lost_failure, stats._lost_failure),
+        (stats.lost_random, stats._lost_random),
+        (stats.lost_node_down, stats._lost_node_down),
+        (stats.dropped_expired, stats._dropped_expired),
+    ]
+    for view, row in pairs:
+        assert view.values() == tuple(row)
+        assert dict(view.items()) == {
+            kind: row[kind.idx] for kind in FrameKind
+        }
+        for kind in FrameKind:
+            assert view[kind] == row[kind.idx]
+    # The run actually exercised the counters.
+    assert stats._sent[FrameKind.DATA.idx] > 0
+    assert stats._sent[FrameKind.ACK.idx] > 0
+    assert stats._lost_random[FrameKind.DATA.idx] > 0
+    for kind in FrameKind:
+        assert stats.delivered[kind] <= stats.sent[kind]
+
+
+def test_facade_writes_reach_flat_rows_and_back():
+    """The facade is a view, not a copy: writes propagate both ways."""
+    env = build_environment(CONFIGS["lossy_mesh"], "DCRD", seed=0)
+    stats = env.ctx.network.stats
+    stats.sent[FrameKind.DATA] = 41
+    assert stats._sent[FrameKind.DATA.idx] == 41
+    stats._sent[FrameKind.DATA.idx] += 1
+    assert stats.sent[FrameKind.DATA] == 42
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_direction_ids_stable_across_rebuilds(name):
+    """Packed direction ids are identical across independent builds."""
+    config = CONFIGS[name]
+    first = build_environment(config, "DCRD", seed=7)
+    second = build_environment(config, "DCRD", seed=7)
+    keys_first = sorted(first.ctx.network._dir_cache)
+    keys_second = sorted(second.ctx.network._dir_cache)
+    assert keys_first == keys_second
+    # Every id decodes to a real directed edge, and the interned table
+    # covers exactly the directed edge set (prewarmed at build time).
+    topology = first.ctx.network.topology
+    directed = {
+        key for u, v in topology.edges() for key in (_pack(u, v), _pack(v, u))
+    }
+    assert set(keys_first) == directed
+    # Executing does not grow the table (no facade resolutions mid-run).
+    first.execute()
+    assert sorted(first.ctx.network._dir_cache) == keys_first
+    assert first.ctx.network.dir_fallbacks == 0
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_subgroup_bitmaps_match_brute_force(name):
+    """Per-topic subgroup aggregates equal brute-force spec iteration."""
+    env = build_environment(CONFIGS[name], "DCRD", seed=11)
+    workload = env.ctx.workload
+    index = workload.index()
+    assert workload.topics, "generated workload must not be empty"
+    for spec in workload.topics:
+        nodes = [sub.node for sub in spec.subscriptions]
+        assert index.bits(spec.topic) == sum(1 << n for n in set(nodes))
+        assert index.members(spec.topic) == frozenset(nodes)
+        assert index.destinations(spec.topic) == frozenset(nodes)
+        assert index.deadlines(spec.topic) == {
+            sub.node: sub.deadline for sub in spec.subscriptions
+        }
+    # Topics nobody subscribes to are absent from the subgroup map but
+    # answer membership queries consistently.
+    assert index.members(10_000) == frozenset()
+    assert index.bits(10_000) == 0
+
+
+def test_subgroup_index_follows_churn():
+    """Bitmaps and member sets track add/remove subscription churn."""
+    env = build_environment(CONFIGS["regular"], "DCRD", seed=5)
+    workload = env.ctx.workload
+    index = workload.index()
+    spec = workload.topics[0]
+    topic = spec.topic
+    absent = next(
+        node
+        for node in sorted(env.ctx.network.topology.nodes)
+        if node not in spec.subscriber_nodes and node != spec.publisher
+    )
+    before_version = index.version
+
+    workload.add_subscription(topic, Subscription(node=absent, deadline=1.0))
+    index.refresh()
+    assert index.version == workload.version != before_version
+    assert absent in index.members(topic)
+    assert index.bits(topic) & (1 << absent)
+    assert index.deadlines(topic)[absent] == 1.0
+
+    workload.remove_subscription(topic, absent)
+    index.refresh()
+    assert absent not in index.members(topic)
+    assert not index.bits(topic) & (1 << absent)
+    brute = sum(1 << n for n in set(workload.topic(topic).subscriber_nodes))
+    assert index.bits(topic) == brute
+
+
+def test_flat_path_holds_under_sanitize_and_trace():
+    """Observation layers on: still zero facade fallbacks, full interning."""
+    config = CONFIGS["lossy_mesh"].with_updates(sanitize=True, trace=True)
+    env = build_environment(config, "DCRD", seed=2)
+    summary = env.execute()
+    perf = summary.perf
+    assert perf["sanity.violations"] == 0
+    assert perf["sanity.events_checked"] > 0
+    assert perf["flat.dir_fallbacks"] == 0.0
+    edges = len(list(env.ctx.network.topology.edges()))
+    assert perf["flat.interned_directions"] == float(2 * edges)
+    assert perf["flat.subgroup_lookups"] > 0
+    assert perf["flat.subgroup_topics"] > 0
+    # Timer probes are live, so the ARQ must run every timer eagerly.
+    assert perf["arq.timers_elided"] == 0.0
+
+
+def _outcome_digest(env):
+    return sorted(
+        (o.msg_id, o.subscriber, o.delivered, repr(o.delivery_time))
+        for o in env.ctx.metrics.outcomes()
+    )
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_timer_elision_is_outcome_invariant(name):
+    """Eager vs latent ARQ timers: bit-identical runs, fewer heap events.
+
+    The runner enables elision by default; the eager twin flips it off
+    after construction, leaving everything else (seeds, ids, schedule)
+    untouched. Every observable — summary, per-pair outcomes, ARQ
+    counters including the cancelled count (latent settles count as
+    cancellations) — must match exactly; only the elision counter and the
+    tombstone economy may differ.
+    """
+    config = CONFIGS[name]
+    elided = build_environment(config, "DCRD", seed=13)
+    assert elided.strategy.arq._elide_timers
+    elided_summary = elided.execute()
+
+    eager = build_environment(config, "DCRD", seed=13)
+    eager.strategy.arq._elide_timers = False
+    eager_summary = eager.execute()
+
+    assert elided_summary.as_dict() == eager_summary.as_dict()
+    assert _outcome_digest(elided) == _outcome_digest(eager)
+
+    assert elided.strategy.arq.timers_elided > 0
+    assert eager.strategy.arq.timers_elided == 0
+    assert (
+        elided.strategy.arq.timers_cancelled == eager.strategy.arq.timers_cancelled
+    )
+    assert (
+        elided.strategy.arq.retransmissions == eager.strategy.arq.retransmissions
+    )
+    # The event streams are identical where it counts: executed events
+    # match one for one (elided timers never existed; cancelled eager
+    # timers were tombstones, which the kernel does not count).
+    assert (
+        elided.ctx.sim.processed_events == eager.ctx.sim.processed_events
+    )

@@ -368,3 +368,34 @@ def test_arrive_event_names_receiver_and_sender():
     assert event.kind == ARRIVE
     assert event.node == 7
     assert event.peer == 4
+
+
+class TestExactComponents:
+    """The breakdown remainder solve lands on ``total`` exactly."""
+
+    def _check(self, total, queueing, timeout_wait, retransmission):
+        from repro.trace import _exact_components
+
+        t, q, w, r = _exact_components(total, queueing, timeout_wait, retransmission)
+        assert math.fsum((t, q, w, r)) == total
+        return t, q, w, r
+
+    def test_plain_remainder(self):
+        t, q, w, r = self._check(1.0, 0.25, 0.125, 0.0625)
+        assert t == 1.0 - 0.25 - 0.125 - 0.0625
+        assert (q, w, r) == (0.25, 0.125, 0.0625)
+
+    def test_all_measured_zero(self):
+        t, q, w, r = self._check(0.9859609130136403, 0.0, 0.0, 0.0)
+        assert t == 0.9859609130136403
+
+    def test_round_half_even_tie_is_broken(self):
+        # Regression: these values (from a fuzzed world) put the exact sum
+        # precisely on a round-half-to-even tie — stepping the remainder by
+        # one ulp jumps the rounded fsum over ``total`` without hitting it,
+        # so the solve must nudge the measured component instead.
+        total = 0.9859609130136403
+        queueing = 0.4807155120975188
+        t, q, w, r = self._check(total, queueing, 0.0, 0.0)
+        assert abs(q - queueing) <= math.ulp(queueing)
+        assert (w, r) == (0.0, 0.0)
