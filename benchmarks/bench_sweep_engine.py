@@ -1,0 +1,105 @@
+"""Cold-vs-warm microbenchmark of the incremental sweep engine.
+
+Runs the same miniature Figure-2-style grid twice through one
+:class:`~repro.experiments.sweeps.SweepExecutor` with a cell cache: the
+cold pass computes (and journals) every cell, the warm pass must serve the
+whole grid from the content-addressed cache. The report records both
+wall-clocks, the speedup, and the engine counters; the warm pass is
+asserted to be at least 5× faster with zero recomputed cells and
+bit-identical results.
+"""
+
+import shutil
+import time
+
+from repro.experiments.cache import SweepCache
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_cache_stats
+from repro.experiments.sweeps import SweepExecutor, sweep
+
+from _common import OUTPUT_DIR, bench_duration, bench_seeds, save_report
+
+STRATEGIES = ("DCRD", "D-Tree", "R-Tree")
+FAILURE_PROBABILITIES = (0.0, 0.04, 0.08)
+
+
+def _configs():
+    duration = bench_duration(10.0)
+    base = ExperimentConfig(
+        duration=duration, drain=5.0, num_topics=4, num_nodes=10
+    )
+    return {
+        pf: base.with_updates(failure_probability=pf)
+        for pf in FAILURE_PROBABILITIES
+    }
+
+
+def _grid(executor):
+    return sweep(
+        "sweep-engine benchmark", "Pf", _configs(),
+        seeds=bench_seeds(2), strategies=STRATEGIES, executor=executor,
+    )
+
+
+def run():
+    cache_dir = OUTPUT_DIR / ".bench_sweep_cache"
+    shutil.rmtree(cache_dir, ignore_errors=True)
+    cache = SweepCache(cache_dir)
+    with SweepExecutor(cache=cache) as executor:
+        start = time.perf_counter()
+        cold_result = _grid(executor)
+        cold = time.perf_counter() - start
+        cold_counters = executor.counters()
+
+        start = time.perf_counter()
+        warm_result = _grid(executor)
+        warm = time.perf_counter() - start
+        counters = executor.counters()
+    cache.close()
+    shutil.rmtree(cache_dir, ignore_errors=True)  # scratch, not a report
+
+    cells = len(FAILURE_PROBABILITIES) * len(STRATEGIES) * len(bench_seeds(2))
+    speedup = cold / warm if warm > 0 else float("inf")
+    report = "\n".join(
+        [
+            f"grid: {cells} cells "
+            f"({len(FAILURE_PROBABILITIES)} Pf x {len(STRATEGIES)} strategies "
+            f"x {len(bench_seeds(2))} seeds)",
+            f"cold pass: {cold:.3f}s  (every cell computed + journalled)",
+            f"warm pass: {warm:.4f}s  (every cell served from the cache)",
+            f"speedup: {speedup:.0f}x",
+            render_cache_stats(counters),
+        ]
+    )
+    save_report("sweep_engine", report)
+    return {
+        "cold": cold,
+        "warm": warm,
+        "speedup": speedup,
+        "cells": cells,
+        "cold_counters": cold_counters,
+        "counters": counters,
+        "cold_result": cold_result,
+        "warm_result": warm_result,
+    }
+
+
+def test_sweep_engine_warm_rerun(benchmark):
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    cold_counters = stats["cold_counters"]
+    counters = stats["counters"]
+    # Cold pass computed and journalled the full grid.
+    assert cold_counters["sweep.cells_computed"] == stats["cells"]
+    assert cold_counters["sweep.checkpoint_writes"] == stats["cells"]
+    # Warm pass recomputed nothing and was served entirely from the cache.
+    assert counters["sweep.cells_computed"] == stats["cells"]
+    assert counters["sweep.cells_cached"] == stats["cells"]
+    assert stats["speedup"] >= 5.0
+    # Cached cells are bit-identical to the freshly computed ones.
+    cold_result, warm_result = stats["cold_result"], stats["warm_result"]
+    for x in cold_result.x_values:
+        for strategy in cold_result.strategies:
+            assert (
+                warm_result.cell(x, strategy).as_dict()
+                == cold_result.cell(x, strategy).as_dict()
+            )

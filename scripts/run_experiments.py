@@ -7,6 +7,15 @@ extension studies) at a configurable scale and writes all tables to
 ``--duration 7200 --repetitions 10``; the EXPERIMENTS.md numbers were
 recorded with the defaults below, which keep the wall-clock in the
 tens-of-minutes range on one core.
+
+Re-runs are incremental: every (config, strategy, seed) grid cell is
+content-addressed and journalled under ``<out>/.sweep_cache/`` (see
+docs/SWEEPS.md), so an unchanged cell is never recomputed — a warm re-run
+of any figure costs seconds, a killed run resumes from the last completed
+cell, and only figures whose cells changed rewrite their output tables.
+``--fresh`` bypasses the cache (and repopulates it), ``--no-cache``
+disables it entirely, and ``--workers N`` fans the grids out over one
+shared spawn pool reused across all figures.
 """
 
 from __future__ import annotations
@@ -17,8 +26,10 @@ import time
 from pathlib import Path
 
 from repro.experiments import figures
+from repro.experiments.cache import SweepCache
 from repro.experiments.figures import PANEL_METRICS
-from repro.experiments.report import render_cdf, render_panels, render_sweep
+from repro.experiments.report import render_cache_stats, render_cdf, render_panels, render_sweep
+from repro.experiments.sweeps import SweepExecutor
 from repro.experiments.validation import FIGURE_CHECKS, render_outcomes, verify_figure
 from repro.extensions.ablations import ack_timeout_ablation, monitoring_mode_ablation
 from repro.extensions.churn import churn_study
@@ -38,17 +49,33 @@ def main() -> None:
         "--only", nargs="*", default=None,
         help="subset of {fig2..fig8,ablations,nodes,congestion} to run",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size shared by every figure (1 = in-process)",
+    )
+    parser.add_argument(
+        "--fresh", action="store_true",
+        help="bypass the cell cache: recompute every cell (and repopulate)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the cell cache and journal entirely",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help="cell-cache directory (default: <out>/.sweep_cache)",
+    )
     args = parser.parse_args()
     args.out.mkdir(exist_ok=True)
     seeds = tuple(range(args.repetitions))
     wanted = set(args.only) if args.only else None
 
+    cache = None
+    if not args.no_cache:
+        cache = SweepCache(args.cache_dir or args.out / ".sweep_cache")
+
     def progress(line: str) -> None:
         print(f"    …{line}", file=sys.stderr)
-
-    def emit(name: str, text: str) -> None:
-        (args.out / f"{name}.txt").write_text(text + "\n")
-        print(f"\n===== {name} =====\n{text}")
 
     def should(name: str) -> bool:
         return wanted is None or name in wanted
@@ -62,97 +89,152 @@ def main() -> None:
             print(render_outcomes(outcomes))
 
     start = time.time()
-    if should("fig2"):
-        result = figures.figure2(args.duration, seeds, progress=progress)
-        emit("fig2", render_panels(result, PANEL_METRICS))
-        check("figure2", result)
-    if should("fig3"):
-        result = figures.figure3(args.duration, seeds, progress=progress)
-        emit("fig3", render_panels(result, PANEL_METRICS))
-        check("figure3", result)
-    if should("fig4"):
-        result = figures.figure4(args.duration, seeds, progress=progress)
-        emit("fig4", render_panels(result, PANEL_METRICS))
-        check("figure4", result)
-    if should("fig5"):
-        result = figures.figure5(
-            max(args.duration / 2, 10.0), seeds[: max(1, len(seeds) - 1)],
-            progress=progress,
-        )
-        emit("fig5", render_panels(result, PANEL_METRICS))
-        check("figure5", result)
-    if should("fig6"):
-        result = figures.figure6(args.duration, seeds, progress=progress)
-        emit("fig6", render_sweep(result, "qos_delivery_ratio"))
-        check("figure6", result)
-    if should("fig7"):
-        curves = figures.figure7(max(args.duration, 120.0), seeds, progress=progress)
-        emit("fig7", render_cdf(curves))
-        check("figure7", curves)
-    if should("fig8"):
-        results = figures.figure8(args.duration, seeds, progress=progress)
-        text = "\n\n".join(
-            render_sweep(results[m], "qos_delivery_ratio") for m in sorted(results)
-        )
-        emit("fig8", text)
-        check("figure8", results)
-    if should("ablations"):
-        result = monitoring_mode_ablation(args.duration / 2, seeds, progress=progress)
-        emit("ablation_monitoring", render_sweep(result, "qos_delivery_ratio"))
-        result = ack_timeout_ablation(args.duration / 2, seeds, progress=progress)
-        text = (
-            render_sweep(result, "qos_delivery_ratio")
-            + "\n\n"
-            + render_sweep(result, "packets_per_subscriber")
-        )
-        emit("ablation_ack_timeout", text)
-    if should("nodes"):
-        result = node_failure_study(args.duration / 2, seeds, progress=progress)
-        emit(
-            "extension_node_failures",
-            render_panels(result, ("delivery_ratio", "qos_delivery_ratio")),
-        )
-    if should("congestion"):
-        result = congestion_study(args.duration / 3, seeds, progress=progress)
-        emit(
-            "extension_congestion",
-            render_panels(
-                result, ("qos_delivery_ratio", "packets_per_subscriber")
-            ),
-        )
-    if should("churn"):
-        result = churn_study(args.duration / 2, seeds, progress=progress)
-        emit(
-            "extension_churn",
-            render_panels(result, ("delivery_ratio", "qos_delivery_ratio")),
-        )
-    if should("fec"):
-        result = fec_study(args.duration / 2, seeds, progress=progress)
-        emit(
-            "extension_fec",
-            render_panels(
-                result,
-                ("delivery_ratio", "qos_delivery_ratio", "traffic_per_subscriber"),
-            ),
-        )
-    if should("priority"):
-        results = priority_queueing_study(args.duration / 2, seeds, progress=progress)
-        text = "\n\n".join(
-            render_sweep(results[mode], "qos_delivery_ratio")
-            + "\n"
-            + render_sweep(results[mode], "delivery_ratio")
-            for mode in results
-        )
-        emit("extension_priority", text)
-    if should("heterogeneous"):
-        result = heterogeneity_study(args.duration / 2, seeds, progress=progress)
-        emit(
-            "extension_heterogeneous",
-            render_panels(
-                result,
-                ("qos_delivery_ratio", "packets_per_subscriber", "mean_delay"),
-            ),
-        )
+    with SweepExecutor(
+        workers=args.workers, cache=cache, fresh=args.fresh
+    ) as executor:
+        snapshot = executor.counters()
+
+        def emit(name: str, text: str) -> None:
+            """Write the figure's table — but only when its cells changed.
+
+            A figure none of whose cells were recomputed this run (every
+            cell came from the cache) produces byte-identical text, so the
+            existing output file is left untouched and the skip reported.
+            """
+            nonlocal snapshot
+            current = executor.counters()
+            computed = current.get("sweep.cells_computed", 0.0) - snapshot.get(
+                "sweep.cells_computed", 0.0
+            )
+            cached = current.get("sweep.cells_cached", 0.0) - snapshot.get(
+                "sweep.cells_cached", 0.0
+            )
+            snapshot = current
+            path = args.out / f"{name}.txt"
+            body = text + "\n"
+            if computed == 0 and path.exists() and path.read_text() == body:
+                print(
+                    f"[{name}] unchanged ({int(cached)} cells cached); "
+                    f"kept {path}",
+                    file=sys.stderr,
+                )
+            else:
+                path.write_text(body)
+            print(f"\n===== {name} =====\n{text}")
+
+        if should("fig2"):
+            result = figures.figure2(
+                args.duration, seeds, progress=progress, executor=executor
+            )
+            emit("fig2", render_panels(result, PANEL_METRICS))
+            check("figure2", result)
+        if should("fig3"):
+            result = figures.figure3(
+                args.duration, seeds, progress=progress, executor=executor
+            )
+            emit("fig3", render_panels(result, PANEL_METRICS))
+            check("figure3", result)
+        if should("fig4"):
+            result = figures.figure4(
+                args.duration, seeds, progress=progress, executor=executor
+            )
+            emit("fig4", render_panels(result, PANEL_METRICS))
+            check("figure4", result)
+        if should("fig5"):
+            result = figures.figure5(
+                max(args.duration / 2, 10.0), seeds[: max(1, len(seeds) - 1)],
+                progress=progress, executor=executor,
+            )
+            emit("fig5", render_panels(result, PANEL_METRICS))
+            check("figure5", result)
+        if should("fig6"):
+            result = figures.figure6(
+                args.duration, seeds, progress=progress, executor=executor
+            )
+            emit("fig6", render_sweep(result, "qos_delivery_ratio"))
+            check("figure6", result)
+        if should("fig7"):
+            curves = figures.figure7(
+                max(args.duration, 120.0), seeds, progress=progress,
+                executor=executor,
+            )
+            emit("fig7", render_cdf(curves))
+            check("figure7", curves)
+        if should("fig8"):
+            results = figures.figure8(
+                args.duration, seeds, progress=progress, executor=executor
+            )
+            text = "\n\n".join(
+                render_sweep(results[m], "qos_delivery_ratio") for m in sorted(results)
+            )
+            emit("fig8", text)
+            check("figure8", results)
+        if should("ablations"):
+            result = monitoring_mode_ablation(
+                args.duration / 2, seeds, progress=progress, executor=executor
+            )
+            emit("ablation_monitoring", render_sweep(result, "qos_delivery_ratio"))
+            result = ack_timeout_ablation(
+                args.duration / 2, seeds, progress=progress, executor=executor
+            )
+            text = (
+                render_sweep(result, "qos_delivery_ratio")
+                + "\n\n"
+                + render_sweep(result, "packets_per_subscriber")
+            )
+            emit("ablation_ack_timeout", text)
+        if should("nodes"):
+            result = node_failure_study(
+                args.duration / 2, seeds, progress=progress, executor=executor
+            )
+            emit(
+                "extension_node_failures",
+                render_panels(result, ("delivery_ratio", "qos_delivery_ratio")),
+            )
+        if should("congestion"):
+            result = congestion_study(
+                args.duration / 3, seeds, progress=progress, executor=executor
+            )
+            emit(
+                "extension_congestion",
+                render_panels(
+                    result, ("qos_delivery_ratio", "packets_per_subscriber")
+                ),
+            )
+        if should("churn"):
+            # Churn mutates the live workload mid-run (a custom driver, not
+            # a plain (config, strategy, seed) cell), so it stays outside
+            # the cell cache.
+            result = churn_study(args.duration / 2, seeds, progress=progress)
+            emit(
+                "extension_churn",
+                render_panels(result, ("delivery_ratio", "qos_delivery_ratio")),
+            )
+        if should("fec"):
+            result = fec_study(
+                args.duration / 2, seeds, progress=progress, executor=executor
+            )
+            emit(
+                "extension_fec",
+                render_panels(
+                    result,
+                    ("delivery_ratio", "qos_delivery_ratio", "traffic_per_subscriber"),
+                ),
+            )
+        if should("priority"):
+            results = priority_queueing_study(
+                args.duration / 2, seeds, progress=progress, executor=executor
+            )
+            text = "\n\n".join(
+                render_sweep(results[mode], "qos_delivery_ratio")
+                + "\n"
+                + render_sweep(results[mode], "delivery_ratio")
+                for mode in results
+            )
+            emit("extension_priority", text)
+        print(render_cache_stats(executor.counters()))
+    if cache is not None:
+        cache.close()
     print(f"\nTotal wall-clock: {time.time() - start:.0f}s", file=sys.stderr)
 
 

@@ -8,12 +8,20 @@ from repro.experiments.runner import (
     run_comparison,
     run_single,
 )
-from repro.experiments.sweeps import SweepResult, run_repetitions, sweep
+from repro.experiments.cache import SweepCache
+from repro.experiments.sweeps import (
+    SweepExecutor,
+    SweepResult,
+    run_repetitions,
+    sweep,
+)
 
 __all__ = [
     "STRATEGIES",
     "ExperimentConfig",
     "SimulationEnvironment",
+    "SweepCache",
+    "SweepExecutor",
     "SweepResult",
     "build_environment",
     "run_comparison",

@@ -1,0 +1,269 @@
+"""Content-addressed sweep-cell cache with an append-only journal.
+
+Regenerating the paper's Figures 2–8 recomputes every (config, strategy,
+seed) grid cell from scratch on every invocation, even though almost all
+cells are unchanged between runs. Every cell is a pure function of its
+triple — the runner derives topology, workload, failures and loss draws
+from the seed alone — so its result can be addressed by a digest of
+
+* the :class:`~repro.experiments.config.ExperimentConfig` canonical dict,
+* the strategy name,
+* the seed, and
+* a fingerprint of the ``repro`` package source code (any code change
+  invalidates every cached cell — conservative, but the only invalidation
+  rule that cannot silently serve stale results).
+
+:class:`SweepCache` persists finished cells to an append-only JSONL journal
+under the cache directory (``results/.sweep_cache/`` by default). The
+journal doubles as the checkpoint: the sweep engine writes each cell as it
+finishes (not after the whole grid), so a killed run resumes from the last
+completed cell, and one failing cell cannot discard its siblings' work. A
+partially written trailing line (the kill happened mid-write) is skipped on
+load and overwritten by the resumed run.
+
+Cached payloads round-trip bit-exactly: JSON serialises floats via
+``repr``, which Python guarantees to be shortest-round-trip, so a summary
+loaded from the journal compares equal (field by field, including every
+delay sample) to the freshly computed one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, IO, List, Optional, Union
+
+import repro
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.summary import MetricsSummary
+
+#: Bump to invalidate every cached cell on a cache-format change.
+CACHE_FORMAT = 1
+
+#: Journal file name inside the cache directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+# ----------------------------------------------------------------------
+# Canonical config representation
+# ----------------------------------------------------------------------
+def canonical_config(config: ExperimentConfig) -> Dict[str, object]:
+    """A JSON-stable dict of every config field (tuples become lists)."""
+    raw = dataclasses.asdict(config)
+    return json.loads(json.dumps(raw, sort_keys=True))
+
+
+def config_from_dict(payload: Dict[str, object]) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from :func:`canonical_config`.
+
+    JSON has no tuple type; every list value maps back to a tuple (no
+    config field is semantically a list).
+    """
+    restored = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in payload.items()
+    }
+    return ExperimentConfig(**restored)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Code fingerprint
+# ----------------------------------------------------------------------
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """A digest over every ``repro`` source file (memoised per process).
+
+    Any change to the package — a solver tweak, a new RNG draw, a metrics
+    fix — changes the fingerprint and therefore every cell digest, so the
+    cache can never serve a result the current code would not reproduce.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def cell_digest(
+    config: ExperimentConfig,
+    strategy: str,
+    seed: int,
+    fingerprint: Optional[str] = None,
+) -> str:
+    """The content address of one (config, strategy, seed) cell."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "code": fingerprint if fingerprint is not None else code_fingerprint(),
+        "config": canonical_config(config),
+        "strategy": strategy,
+        "seed": int(seed),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Summary serialisation
+# ----------------------------------------------------------------------
+def summary_payload(summary: MetricsSummary) -> Dict[str, object]:
+    """A JSON-serialisable dict carrying *every* summary field.
+
+    Unlike :meth:`MetricsSummary.as_dict` this includes the delay samples
+    (Figure 7 needs them) and the perf snapshot (so cached cells still
+    report their original counters).
+    """
+    payload: Dict[str, object] = dict(summary.as_dict())
+    payload["late_normalized_delays"] = list(summary.late_normalized_delays)
+    payload["perf"] = dict(summary.perf)
+    return payload
+
+
+def summary_from_payload(payload: Dict[str, object]) -> MetricsSummary:
+    """Rebuild a :class:`MetricsSummary` from :func:`summary_payload`."""
+    data = dict(payload)
+    return MetricsSummary(
+        strategy=data["strategy"],
+        messages_published=data["messages_published"],
+        expected_deliveries=data["expected_deliveries"],
+        delivered=data["delivered"],
+        on_time=data["on_time"],
+        duplicates=data["duplicates"],
+        data_transmissions=data["data_transmissions"],
+        delivery_ratio=data["delivery_ratio"],
+        qos_delivery_ratio=data["qos_delivery_ratio"],
+        packets_per_subscriber=data["packets_per_subscriber"],
+        mean_delay=data["mean_delay"],
+        p95_delay=data["p95_delay"],
+        traffic_per_subscriber=data["traffic_per_subscriber"],
+        late_normalized_delays=list(data.get("late_normalized_delays", [])),
+        perf=dict(data.get("perf", {})),
+    )
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+class SweepCache:
+    """Digest-addressed store of finished sweep cells, journalled to disk.
+
+    One instance owns one cache directory. The in-memory index is loaded
+    from the journal at construction; :meth:`put` appends one JSONL line
+    per cell and flushes immediately, so every completed cell survives a
+    killed process. Only the parent (sweep-driving) process writes; pool
+    workers never touch the journal.
+    """
+
+    def __init__(self, root: Union[str, Path] = Path("results/.sweep_cache")) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.journal_path = self.root / JOURNAL_NAME
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._journal: Optional[IO[str]] = None
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._load()
+
+    # -- loading -------------------------------------------------------
+    def _load(self) -> None:
+        if not self.journal_path.exists():
+            return
+        with self.journal_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    digest = record["digest"]
+                    payload = record["summary"]
+                except (ValueError, KeyError, TypeError):
+                    # A truncated trailing line from a killed writer (or
+                    # unrelated corruption): skip it — the cell will simply
+                    # be recomputed and re-journalled.
+                    continue
+                self._entries[digest] = payload
+
+    # -- queries -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def get(self, digest: str) -> Optional[MetricsSummary]:
+        """The cached summary of *digest*, or ``None`` (counts hit/miss)."""
+        payload = self._entries.get(digest)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary_from_payload(payload)
+
+    def coverage(self, digests: List[str]) -> float:
+        """Fraction of *digests* already cached (1.0 for an empty list)."""
+        if not digests:
+            return 1.0
+        cached = sum(1 for digest in digests if digest in self._entries)
+        return cached / len(digests)
+
+    # -- writes --------------------------------------------------------
+    def put(
+        self,
+        digest: str,
+        config: ExperimentConfig,
+        strategy: str,
+        seed: int,
+        summary: MetricsSummary,
+    ) -> None:
+        """Journal one finished cell (append + flush: a checkpoint)."""
+        payload = summary_payload(summary)
+        record = {
+            "digest": digest,
+            "strategy": strategy,
+            "seed": int(seed),
+            "config": canonical_config(config),
+            "summary": payload,
+        }
+        if self._journal is None:
+            # A journal killed mid-write may end without a newline; start
+            # on a fresh line so the new record is not glued to the stub.
+            needs_newline = (
+                self.journal_path.exists()
+                and self.journal_path.stat().st_size > 0
+                and not self.journal_path.read_bytes().endswith(b"\n")
+            )
+            self._journal = self.journal_path.open("a", encoding="utf-8")
+            if needs_newline:
+                self._journal.write("\n")
+        self._journal.write(json.dumps(record, sort_keys=True) + "\n")
+        self._journal.flush()
+        self._entries[digest] = payload
+        self.writes += 1
+
+    def close(self) -> None:
+        """Close the journal handle (idempotent)."""
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    def __enter__(self) -> "SweepCache":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SweepCache({str(self.root)!r}, entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

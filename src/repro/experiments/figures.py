@@ -9,6 +9,11 @@ full setting on identical code paths.
 
 The paper has no numbered tables; Figures 2–8 constitute the whole
 evaluation, and EXPERIMENTS.md records paper-vs-measured values for each.
+
+Every driver accepts an optional
+:class:`~repro.experiments.sweeps.SweepExecutor`: passing one shares a
+worker pool and a content-addressed cell cache across figures, so a
+re-run regenerates only figures whose cells changed (see docs/SWEEPS.md).
 """
 
 from __future__ import annotations
@@ -17,7 +22,13 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import DEFAULT_STRATEGIES
-from repro.experiments.sweeps import ProgressHook, SweepResult, run_repetitions, sweep
+from repro.experiments.sweeps import (
+    ProgressHook,
+    SweepExecutor,
+    SweepResult,
+    run_repetitions,
+    sweep,
+)
 from repro.metrics.cdf import interpolate_cdf
 
 #: Failure-probability axis of Figures 2 and 3.
@@ -48,6 +59,7 @@ def figure2(
     seeds: Sequence[int] = (0, 1, 2),
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figure 2: 20-node full mesh, failure probability 0 → 0.1."""
     configs = {
@@ -55,7 +67,8 @@ def figure2(
         for pf in FAILURE_PROBABILITIES
     }
     return sweep(
-        "Figure 2: full mesh", "failure probability", configs, seeds, strategies, progress
+        "Figure 2: full mesh", "failure probability", configs, seeds,
+        strategies, progress, executor=executor,
     )
 
 
@@ -64,6 +77,7 @@ def figure3(
     seeds: Sequence[int] = (0, 1, 2),
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figure 3: 20-node overlay with degree 5, failure probability 0 → 0.1."""
     configs = {
@@ -73,7 +87,8 @@ def figure3(
         for pf in FAILURE_PROBABILITIES
     }
     return sweep(
-        "Figure 3: degree 5", "failure probability", configs, seeds, strategies, progress
+        "Figure 3: degree 5", "failure probability", configs, seeds,
+        strategies, progress, executor=executor,
     )
 
 
@@ -82,6 +97,7 @@ def figure4(
     seeds: Sequence[int] = (0, 1, 2),
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figure 4: node degree 3 → 10 at Pf = 0.06."""
     configs = {
@@ -90,7 +106,10 @@ def figure4(
         )
         for degree in NODE_DEGREES
     }
-    return sweep("Figure 4: connectivity", "node degree", configs, seeds, strategies, progress)
+    return sweep(
+        "Figure 4: connectivity", "node degree", configs, seeds, strategies,
+        progress, executor=executor,
+    )
 
 
 def figure5(
@@ -99,6 +118,7 @@ def figure5(
     sizes: Sequence[int] = NETWORK_SIZES,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figure 5: network size 10 → 160 nodes, degree 8, Pf = 0.06."""
     configs = {
@@ -111,7 +131,10 @@ def figure5(
         )
         for size in sizes
     }
-    return sweep("Figure 5: scalability", "network size", configs, seeds, strategies, progress)
+    return sweep(
+        "Figure 5: scalability", "network size", configs, seeds, strategies,
+        progress, executor=executor,
+    )
 
 
 def figure6(
@@ -119,6 +142,7 @@ def figure6(
     seeds: Sequence[int] = (0, 1, 2),
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Figure 6: QoS delivery ratio vs deadline multiplier, degree 8, Pf = 0.06."""
     configs = {
@@ -132,7 +156,8 @@ def figure6(
         for factor in DEADLINE_FACTORS
     }
     return sweep(
-        "Figure 6: QoS requirement", "deadline multiplier", configs, seeds, strategies, progress
+        "Figure 6: QoS requirement", "deadline multiplier", configs, seeds,
+        strategies, progress, executor=executor,
     )
 
 
@@ -141,6 +166,7 @@ def figure7(
     seeds: Sequence[int] = (0, 1, 2),
     grid: Sequence[float] = tuple(1.0 + 0.125 * i for i in range(13)),
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, Tuple[List[float], List[float]]]:
     """Figure 7: CDF of normalised delay of DCRD's deadline-missing packets.
 
@@ -159,7 +185,7 @@ def figure7(
         ),
     }
     for label, config in settings.items():
-        summary = run_repetitions(config, "DCRD", seeds, progress)
+        summary = run_repetitions(config, "DCRD", seeds, progress, executor=executor)
         results[label] = (list(grid), interpolate_cdf(summary.late_normalized_delays, grid))
     return results
 
@@ -171,6 +197,7 @@ def figure8(
     m_values: Sequence[int] = (1, 2),
     loss_rates: Sequence[float] = LOSS_RATES,
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Mapping[int, SweepResult]:
     """Figure 8: QoS ratio vs packet-loss rate for m = 1 and m = 2.
 
@@ -197,5 +224,6 @@ def figure8(
             seeds,
             strategies,
             progress,
+            executor=executor,
         )
     return results

@@ -101,6 +101,23 @@ def render_perf(summaries: Mapping[str, object]) -> str:
     return format_table(headers, rows)
 
 
+def render_cache_stats(values: Mapping[str, float], label: str = "sweep") -> str:
+    """One-line summary of the sweep engine's ``sweep.*`` counters.
+
+    Used by the experiment driver to report, per figure and per run, how
+    much of the grid the cell cache absorbed — the line the CI sweep-smoke
+    job parses.
+    """
+    cached = int(values.get("sweep.cells_cached", 0))
+    computed = int(values.get("sweep.cells_computed", 0))
+    warm = int(values.get("sweep.solver_warm_hits", 0))
+    writes = int(values.get("sweep.checkpoint_writes", 0))
+    return (
+        f"[{label}] cells_cached={cached} cells_computed={computed} "
+        f"solver_warm_hits={warm} checkpoint_writes={writes}"
+    )
+
+
 def render_comparison(summaries: Mapping[str, object]) -> str:
     """A one-row-per-strategy overview of a single configuration."""
     headers = [

@@ -12,21 +12,71 @@ Runs are single-threaded and independent, so ``workers > 1`` fans the grid
 out over a process pool — results are byte-identical to the serial order
 because every run derives everything from its (config, strategy, seed)
 triple.
+
+The incremental sweep engine
+----------------------------
+
+:class:`SweepExecutor` owns the resources shared by every sweep of one
+driver invocation:
+
+* **one long-lived spawn-context pool** — historically every
+  ``sweep()``/``run_repetitions()`` call built and tore down its own pool,
+  paying worker spawn + import cost per figure; the executor creates the
+  pool lazily on first parallel use and reuses it until :meth:`close`;
+* **a content-addressed cell cache** (:class:`~repro.experiments.cache.SweepCache`)
+  — each (config, strategy, seed) cell is addressed by a digest that also
+  covers the package source fingerprint, so re-running a figure skips
+  every unchanged cell and recomputes only invalidated ones, and cached
+  results are bit-identical to fresh ones (``fresh=True`` bypasses
+  lookups but still repopulates);
+* **checkpoint/resume** — completed cells stream to the cache's
+  append-only journal *as they finish*, so a killed driver resumes from
+  the last finished cell, and one failing cell (reported as
+  :class:`SweepWorkerError` with its triple) no longer discards its
+  siblings' completed work;
+* **per-process warm artifacts** — each pool worker (and the serial
+  in-process path) keeps an LRU of built topologies and a
+  :class:`~repro.core.computation.SolverDistanceCache` of per-publisher
+  Dijkstra maps keyed by the exact alpha-weighted graph, and cells are
+  submitted in world-grouped order so neighbouring cells that differ only
+  in strategy or failure axis reuse those artifacts. Both reuses are
+  bit-identical by construction (deterministic builds, exact keys), so
+  ``workers > 1`` with warm sharing matches ``workers = 1`` exactly.
+
+Engine counters land in :attr:`SweepExecutor.perf` under the ``sweep.*``
+namespace: ``cells_cached``, ``cells_computed``, ``checkpoint_writes``,
+``solver_warm_hits``, ``topology_warm_hits``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.core import computation as _computation
+from repro.experiments.cache import SweepCache, cell_digest, code_fingerprint
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import DEFAULT_STRATEGIES, run_single
+from repro.experiments.runner import DEFAULT_STRATEGIES, build_topology, run_single
 from repro.metrics.summary import MetricsSummary, mean_summaries
+from repro.overlay.topology import Topology
+from repro.perf import PerfStats
+from repro.sim.random import RandomStreams
 from repro.util.errors import ConfigurationError, ReproError
 
 ProgressHook = Callable[[str], None]
+
+#: One grid cell: (config, strategy, seed).
+CellTask = Tuple[ExperimentConfig, str, int]
 
 
 class SweepWorkerError(ReproError):
@@ -35,7 +85,9 @@ class SweepWorkerError(ReproError):
     Pool workers report failures as bare pickled remote tracebacks, which
     say nothing about *which* cell died. This wrapper re-raises with the
     failing triple attached (and the original exception chained as
-    ``__cause__``).
+    ``__cause__``). Every *other* cell that completed before the failure
+    surfaced has already been journalled to the executor's cache, so a
+    re-run resumes instead of recomputing them.
     """
 
     def __init__(
@@ -50,40 +102,302 @@ class SweepWorkerError(ReproError):
         )
 
 
-def _run_cell(task: Tuple[ExperimentConfig, str, int]) -> MetricsSummary:
-    """Process-pool entry point (must be a picklable top-level function)."""
-    config, strategy, seed = task
-    return run_single(config, strategy, seed)
-
-
-def _pool(workers: int) -> ProcessPoolExecutor:
-    """A spawn-context pool: fork pools can deadlock when the parent holds
-    allocator or BLAS locks at fork time, and spawn costs little here
-    because each cell runs for seconds."""
-    return ProcessPoolExecutor(
-        max_workers=workers, mp_context=multiprocessing.get_context("spawn")
-    )
-
-
 def _require_workers(workers: int) -> None:
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
 
 
-def _run_grid(
-    tasks: Sequence[Tuple[ExperimentConfig, str, int]], workers: int
-) -> List[MetricsSummary]:
-    """Run cells across the pool; annotate failures with their triple."""
-    with _pool(workers) as pool:
-        futures = [pool.submit(_run_cell, task) for task in tasks]
-        results: List[MetricsSummary] = []
-        for task, future in zip(tasks, futures):
+# ----------------------------------------------------------------------
+# Per-process warm artifacts
+# ----------------------------------------------------------------------
+def _world_key(config: ExperimentConfig, seed: int) -> tuple:
+    """The fields that determine a cell's topology (plus the seed).
+
+    Cells sharing this key build bit-identical :class:`Topology` objects:
+    construction consumes only the dedicated ``"topology"`` random stream,
+    which derives from (seed, these fields) alone.
+    """
+    return (
+        config.topology_kind,
+        config.num_nodes,
+        config.degree is None,
+        config.degree or 0,
+        config.delay_range,
+        int(seed),
+    )
+
+
+class _WarmState:
+    """Warm artifacts one process carries across sweep cells.
+
+    Holds an LRU of built topologies keyed by :func:`_world_key` and a
+    :class:`~repro.core.computation.SolverDistanceCache` installed around
+    each cell run. Both are pure memos of deterministic builds, so reuse
+    is invisible to results.
+    """
+
+    def __init__(self, max_topologies: int = 8) -> None:
+        self.dist_cache = _computation.SolverDistanceCache()
+        self._topologies: Dict[tuple, Topology] = {}
+        self._order: List[tuple] = []
+        self._max = max_topologies
+        self.topology_hits = 0
+
+    def topology_for(self, config: ExperimentConfig, seed: int) -> Topology:
+        """The cell's topology, built once per world and reused.
+
+        A cache hit returns the very object a previous cell built — safe
+        because :class:`Topology` is immutable after construction (its
+        shortest-path attributes are lazy memos of deterministic values).
+        """
+        key = _world_key(config, seed)
+        topology = self._topologies.get(key)
+        if topology is not None:
+            self.topology_hits += 1
+            self._order.remove(key)
+            self._order.append(key)
+            return topology
+        topology = build_topology(config, RandomStreams(seed))
+        self._topologies[key] = topology
+        self._order.append(key)
+        if len(self._order) > self._max:
+            del self._topologies[self._order.pop(0)]
+        return topology
+
+    def counters(self) -> Dict[str, float]:
+        """Cumulative warm-reuse counters (``sweep.*`` namespace)."""
+        return {
+            "sweep.solver_warm_hits": float(self.dist_cache.hits),
+            "sweep.topology_warm_hits": float(self.topology_hits),
+        }
+
+
+#: The process's warm state: set by the pool initializer in workers, and
+#: swapped in temporarily by the serial in-process path.
+_WORKER_WARM: Optional[_WarmState] = None
+
+
+def _worker_init() -> None:
+    """Pool initializer: give the worker process persistent warm state."""
+    global _WORKER_WARM
+    _WORKER_WARM = _WarmState()
+
+
+def _run_cell_warm(task: CellTask) -> Tuple[MetricsSummary, Dict[str, float]]:
+    """Process-pool entry point (must be a picklable top-level function).
+
+    Runs one cell with the process's warm artifacts engaged and returns
+    ``(summary, warm-counter deltas)``. Without warm state (plain
+    :func:`run_single` semantics) the deltas are empty.
+    """
+    config, strategy, seed = task
+    warm = _WORKER_WARM
+    if warm is None:
+        return run_single(config, strategy, seed), {}
+    before = warm.counters()
+    topology = warm.topology_for(config, seed)
+    previous = _computation.DIST_CACHE
+    _computation.DIST_CACHE = warm.dist_cache
+    try:
+        summary = run_single(config, strategy, seed, topology=topology)
+    finally:
+        _computation.DIST_CACHE = previous
+    after = warm.counters()
+    deltas = {name: after[name] - before.get(name, 0.0) for name in after}
+    return summary, deltas
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class SweepExecutor:
+    """Shared engine behind every sweep of one driver invocation.
+
+    Context-manager owned: the driver creates one executor, passes it to
+    every figure/study, and the pool plus cache journal are released on
+    exit. ``workers=1`` runs cells in-process (no pool is ever created)
+    but still journals checkpoints and reuses warm artifacts, so serial
+    and parallel runs execute identical per-cell code.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[SweepCache] = None,
+        fresh: bool = False,
+    ) -> None:
+        _require_workers(workers)
+        self.workers = workers
+        self.cache = cache
+        self.fresh = fresh
+        self.perf = PerfStats()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._warm = _WarmState()
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; the cache journal stays open
+        for the owning driver to close)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The shared spawn-context pool, created on first parallel use.
+
+        Spawn rather than fork: fork pools can deadlock when the parent
+        holds allocator or BLAS locks at fork time. The spawn cost is paid
+        once per driver invocation instead of once per ``sweep()`` call.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_worker_init,
+            )
+        return self._pool
+
+    def counters(self) -> Dict[str, float]:
+        """Snapshot of the engine's ``sweep.*`` counters."""
+        return self.perf.snapshot()
+
+    # -- execution -----------------------------------------------------
+    def run_cells(
+        self,
+        tasks: Sequence[CellTask],
+        progress: Optional[ProgressHook] = None,
+    ) -> List[MetricsSummary]:
+        """Run a grid of cells; results align with *tasks*.
+
+        Cached cells are served from the cell cache (unless ``fresh``);
+        the rest run serially in-process (``workers=1``) or across the
+        shared pool, grouped by world so warm artifacts get maximal reuse.
+        Each finished cell is journalled immediately — the checkpoint that
+        makes a killed or partially failed grid resumable.
+        """
+        tasks = list(tasks)
+        results: List[Optional[MetricsSummary]] = [None] * len(tasks)
+        digests: List[Optional[str]] = [None] * len(tasks)
+        pending: List[int] = []
+        fingerprint = code_fingerprint() if self.cache is not None else None
+        for index, (config, strategy, seed) in enumerate(tasks):
+            if self.cache is not None:
+                digests[index] = cell_digest(config, strategy, seed, fingerprint)
+                if not self.fresh:
+                    cached = self.cache.get(digests[index])
+                    if cached is not None:
+                        results[index] = cached
+                        self.perf.incr("sweep.cells_cached")
+                        if progress is not None:
+                            progress(
+                                f"{strategy} seed={seed} {config.describe()} [cached]"
+                            )
+                        continue
+            pending.append(index)
+        if not pending:
+            return results  # type: ignore[return-value]
+        # World-grouped submission order: cells sharing (topology, seed)
+        # run back to back, so the per-process warm caches see them while
+        # the artifacts are still resident. Stable within a world.
+        order = sorted(
+            pending, key=lambda i: (_world_key(tasks[i][0], tasks[i][2]), i)
+        )
+        if self.workers == 1:
+            self._run_serial(tasks, order, digests, results, progress)
+        else:
+            self._run_pooled(tasks, order, digests, results)
+        return results  # type: ignore[return-value]
+
+    def _run_serial(
+        self,
+        tasks: List[CellTask],
+        order: List[int],
+        digests: List[Optional[str]],
+        results: List[Optional[MetricsSummary]],
+        progress: Optional[ProgressHook],
+    ) -> None:
+        global _WORKER_WARM
+        previous = _WORKER_WARM
+        _WORKER_WARM = self._warm
+        try:
+            for index in order:
+                config, strategy, seed = tasks[index]
+                if progress is not None:
+                    progress(f"{strategy} seed={seed} {config.describe()}")
+                try:
+                    summary, stats = _run_cell_warm(tasks[index])
+                except Exception as exc:
+                    # Cells journalled before this point stay resumable.
+                    raise SweepWorkerError(config, strategy, seed, exc) from exc
+                self._finish(tasks, index, digests, results, summary, stats)
+        finally:
+            _WORKER_WARM = previous
+
+    def _run_pooled(
+        self,
+        tasks: List[CellTask],
+        order: List[int],
+        digests: List[Optional[str]],
+        results: List[Optional[MetricsSummary]],
+    ) -> None:
+        pool = self._ensure_pool()
+        futures = {pool.submit(_run_cell_warm, tasks[index]): index for index in order}
+        failures: Dict[int, BaseException] = {}
+        # Drain *every* future before reporting failures: completed cells
+        # are journalled as they land, so one bad cell costs only itself.
+        for future in as_completed(futures):
+            index = futures[future]
             try:
-                results.append(future.result())
+                summary, stats = future.result()
             except Exception as exc:
-                config, strategy, seed = task
-                raise SweepWorkerError(config, strategy, seed, exc) from exc
-    return results
+                failures[index] = exc
+                continue
+            self._finish(tasks, index, digests, results, summary, stats)
+        if failures:
+            index = min(failures)  # first failing cell in task order
+            config, strategy, seed = tasks[index]
+            raise SweepWorkerError(
+                config, strategy, seed, failures[index]
+            ) from failures[index]
+
+    def _finish(
+        self,
+        tasks: List[CellTask],
+        index: int,
+        digests: List[Optional[str]],
+        results: List[Optional[MetricsSummary]],
+        summary: MetricsSummary,
+        stats: Mapping[str, float],
+    ) -> None:
+        results[index] = summary
+        self.perf.incr("sweep.cells_computed")
+        for name, value in stats.items():
+            self.perf.incr(name, value)
+        if self.cache is not None:
+            config, strategy, seed = tasks[index]
+            digest = digests[index]
+            assert digest is not None  # computed for every task when cached
+            self.cache.put(digest, config, strategy, seed, summary)
+            self.perf.incr("sweep.checkpoint_writes")
+
+
+def _execute(
+    tasks: Sequence[CellTask],
+    workers: int,
+    executor: Optional[SweepExecutor],
+    progress: Optional[ProgressHook],
+) -> List[MetricsSummary]:
+    """Run *tasks* on the given executor, or a transient one."""
+    if executor is not None:
+        return executor.run_cells(tasks, progress=progress)
+    with SweepExecutor(workers=workers) as transient:
+        return transient.run_cells(tasks, progress=progress)
 
 
 def run_repetitions(
@@ -92,18 +406,16 @@ def run_repetitions(
     seeds: Sequence[int],
     progress: Optional[ProgressHook] = None,
     workers: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> MetricsSummary:
-    """Average one (config, strategy) cell over several seeds."""
-    _require_workers(workers)
-    if workers > 1:
-        tasks = [(config, strategy, seed) for seed in seeds]
-        return mean_summaries(_run_grid(tasks, workers))
-    summaries: List[MetricsSummary] = []
-    for seed in seeds:
-        if progress is not None:
-            progress(f"{strategy} seed={seed} {config.describe()}")
-        summaries.append(run_single(config, strategy, seed))
-    return mean_summaries(summaries)
+    """Average one (config, strategy) cell over several seeds.
+
+    Pass *executor* to reuse a driver-owned :class:`SweepExecutor` (shared
+    pool, cell cache, warm artifacts); *workers* is only consulted when no
+    executor is given.
+    """
+    tasks = [(config, strategy, seed) for seed in seeds]
+    return mean_summaries(_execute(tasks, workers, executor, progress))
 
 
 @dataclass
@@ -148,41 +460,36 @@ def sweep(
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     progress: Optional[ProgressHook] = None,
     workers: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Run a full (axis x strategy) grid and collect a :class:`SweepResult`.
 
-    ``workers > 1`` runs the *entire grid* (every (x, strategy, seed)
-    triple) across a process pool; results are identical to the serial
-    run, just faster.
+    ``workers > 1`` (or an *executor* with workers) runs the *entire grid*
+    (every (x, strategy, seed) triple) across a process pool; results are
+    identical to the serial run, just faster. With an executor carrying a
+    cell cache, unchanged cells are served from the journal instead of
+    recomputed.
     """
-    _require_workers(workers)
     result = SweepResult(
         name=name,
         x_label=x_label,
         x_values=list(configs.keys()),
         strategies=list(strategies),
     )
-    if workers > 1:
-        grid = [
-            (x, strategy, seed)
-            for x in configs
+    grid = [
+        (x, strategy, seed)
+        for x in configs
+        for strategy in strategies
+        for seed in seeds
+    ]
+    tasks = [(configs[x], strategy, seed) for x, strategy, seed in grid]
+    outputs = _execute(tasks, workers, executor, progress)
+    buckets: Dict[Tuple[object, str], List[MetricsSummary]] = {}
+    for (x, strategy, _), summary in zip(grid, outputs):
+        buckets.setdefault((x, strategy), []).append(summary)
+    for x in configs:
+        result.cells[x] = {
+            strategy: mean_summaries(buckets[(x, strategy)])
             for strategy in strategies
-            for seed in seeds
-        ]
-        tasks = [(configs[x], strategy, seed) for x, strategy, seed in grid]
-        outputs = _run_grid(tasks, workers)
-        buckets: Dict[Tuple[object, str], List[MetricsSummary]] = {}
-        for (x, strategy, _), summary in zip(grid, outputs):
-            buckets.setdefault((x, strategy), []).append(summary)
-        for x in configs:
-            result.cells[x] = {
-                strategy: mean_summaries(buckets[(x, strategy)])
-                for strategy in strategies
-            }
-        return result
-    for x, config in configs.items():
-        row: Dict[str, MetricsSummary] = {}
-        for strategy in strategies:
-            row[strategy] = run_repetitions(config, strategy, seeds, progress)
-        result.cells[x] = row
+        }
     return result

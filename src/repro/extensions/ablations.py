@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.sweeps import ProgressHook, SweepResult, sweep
+from repro.experiments.sweeps import ProgressHook, SweepExecutor, SweepResult, sweep
 
 #: ACK-timeout factors swept by the ablation; 2.0 is the library default
 #: (factors < 2 flood the overlay — see the module warning).
@@ -49,6 +49,7 @@ def monitoring_mode_ablation(
     seeds: Sequence[int] = (0, 1),
     strategies: Sequence[str] = ("DCRD",),
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """DCRD under perfect (analytic) vs probe-based (sampled) monitoring."""
     configs: Dict[object, ExperimentConfig] = {
@@ -62,6 +63,7 @@ def monitoring_mode_ablation(
         seeds,
         strategies,
         progress,
+        executor=executor,
     )
 
 
@@ -71,6 +73,7 @@ def ack_timeout_ablation(
     factors: Sequence[float] = ACK_TIMEOUT_FACTORS,
     strategies: Sequence[str] = ("DCRD",),
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Sweep the ACK-timeout multiplier under the paper's failure setting."""
     for factor in factors:
@@ -91,4 +94,5 @@ def ack_timeout_ablation(
         seeds,
         strategies,
         progress,
+        executor=executor,
     )

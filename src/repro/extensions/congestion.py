@@ -40,7 +40,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.sweeps import ProgressHook, SweepResult, sweep
+from repro.experiments.sweeps import ProgressHook, SweepExecutor, SweepResult, sweep
 
 #: Publish intervals swept (seconds between packets per topic); smaller is
 #: more load.
@@ -55,6 +55,7 @@ def congestion_study(
     degree: int = 5,
     strategies: Sequence[str] = ("DCRD", "DCRD+adaptive", "D-Tree", "Multipath"),
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Sweep offered load on finite-capacity links.
 
@@ -83,4 +84,5 @@ def congestion_study(
         seeds,
         strategies,
         progress,
+        executor=executor,
     )

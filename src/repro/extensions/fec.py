@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.sweeps import ProgressHook, SweepResult, sweep
+from repro.experiments.sweeps import ProgressHook, SweepExecutor, SweepResult, sweep
 from repro.pubsub.messages import AckFrame, PacketFrame
 from repro.pubsub.topics import TopicSpec
 from repro.routing.arq import ArqSender
@@ -181,6 +181,7 @@ def fec_study(
     degree: int = 5,
     strategies: Sequence[str] = ("DCRD", "Multipath", "FEC", "D-Tree"),
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Redundancy trade-off sweep: FEC vs Multipath vs DCRD under failures."""
     configs = {
@@ -199,4 +200,5 @@ def fec_study(
         seeds,
         strategies,
         progress,
+        executor=executor,
     )

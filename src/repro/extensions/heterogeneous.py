@@ -33,7 +33,7 @@ from repro.core.computation import (
 )
 from repro.core.forwarding import DcrdStrategy
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.sweeps import ProgressHook, SweepResult, sweep
+from repro.experiments.sweeps import ProgressHook, SweepExecutor, SweepResult, sweep
 
 
 def reorder_table_by_delay(table: DrTable) -> DrTable:
@@ -102,6 +102,7 @@ def heterogeneity_study(
     m: int = 1,
     strategies: Sequence[str] = ("DCRD", "DCRD-naive-order", "D-Tree"),
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Sweep per-link loss heterogeneity at zero transient failures."""
     configs = {}
@@ -122,4 +123,5 @@ def heterogeneity_study(
         seeds,
         strategies,
         progress,
+        executor=executor,
     )

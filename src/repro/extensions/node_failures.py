@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import DEFAULT_STRATEGIES
-from repro.experiments.sweeps import ProgressHook, SweepResult, sweep
+from repro.experiments.sweeps import ProgressHook, SweepExecutor, SweepResult, sweep
 
 #: Default crash-probability axis (per node, per second).
 NODE_FAILURE_PROBABILITIES = (0.0, 0.01, 0.02, 0.04, 0.06)
@@ -28,6 +28,7 @@ def node_failure_study(
     link_failure_probability: float = 0.02,
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> SweepResult:
     """Sweep the per-node crash probability on a degree-``degree`` overlay.
 
@@ -54,4 +55,5 @@ def node_failure_study(
         seeds,
         strategies,
         progress,
+        executor=executor,
     )

@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.sweeps import ProgressHook, SweepResult, sweep
+from repro.experiments.sweeps import ProgressHook, SweepExecutor, SweepResult, sweep
 
 #: Load axis: seconds between packets per topic (last point is overload).
 DEFAULT_INTERVALS = (0.5, 0.125, 0.0625)
@@ -57,6 +57,7 @@ def priority_queueing_study(
     strategies: Sequence[str] = ("P-DTree",),
     modes: Sequence[str] = ("fifo", "edf", "edf+drop"),
     progress: Optional[ProgressHook] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Mapping[str, SweepResult]:
     """Sweep offered load per queueing mode with mixed urgency classes.
 
@@ -88,5 +89,6 @@ def priority_queueing_study(
             seeds,
             strategies,
             progress,
+            executor=executor,
         )
     return results

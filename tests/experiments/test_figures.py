@@ -25,9 +25,11 @@ def test_figure3_uses_degree_five(monkeypatch):
     captured = {}
     original = figures.sweep
 
-    def spy(name, x_label, configs, seeds, strategies, progress=None):
+    def spy(name, x_label, configs, seeds, strategies, progress=None, **kwargs):
         captured.update(configs)
-        return original(name, x_label, configs, seeds, strategies, progress)
+        return original(
+            name, x_label, configs, seeds, strategies, progress, **kwargs
+        )
 
     monkeypatch.setattr(figures, "sweep", spy)
     figures.figure3(strategies=("DCRD",), **TINY)
@@ -51,9 +53,11 @@ def test_figure6_sweeps_deadline_factor(monkeypatch):
     captured = {}
     original = figures.sweep
 
-    def spy(name, x_label, configs, seeds, strategies, progress=None):
+    def spy(name, x_label, configs, seeds, strategies, progress=None, **kwargs):
         captured.update(configs)
-        return original(name, x_label, configs, seeds, strategies, progress)
+        return original(
+            name, x_label, configs, seeds, strategies, progress, **kwargs
+        )
 
     monkeypatch.setattr(figures, "sweep", spy)
     result = figures.figure6(strategies=("DCRD",), **TINY)

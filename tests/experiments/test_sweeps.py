@@ -2,9 +2,15 @@
 
 import pytest
 
+from repro.experiments.cache import SweepCache, cell_digest
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_single
-from repro.experiments.sweeps import SweepWorkerError, run_repetitions, sweep
+from repro.experiments.sweeps import (
+    SweepExecutor,
+    SweepWorkerError,
+    run_repetitions,
+    sweep,
+)
 from repro.util.errors import ConfigurationError
 
 FAST = ExperimentConfig(duration=6.0, drain=2.0, num_topics=2, num_nodes=6)
@@ -100,6 +106,89 @@ def test_sweep_worker_failure_names_the_failing_cell():
               workers=2)
     assert excinfo.value.strategy == "NoSuchStrategy"
     assert excinfo.value.seed == 1
+
+
+def test_serial_failure_is_wrapped_and_names_the_cell():
+    with pytest.raises(SweepWorkerError) as excinfo:
+        run_repetitions(FAST, "NoSuchStrategy", seeds=(1,))
+    assert excinfo.value.strategy == "NoSuchStrategy"
+    assert excinfo.value.seed == 1
+    assert excinfo.value.__cause__ is not None
+
+
+@pytest.mark.parametrize("workers", [0, -2])
+def test_executor_rejects_bad_worker_counts(workers):
+    with pytest.raises(ConfigurationError, match="workers"):
+        SweepExecutor(workers=workers)
+
+
+def test_executor_reuses_one_pool_across_sweeps():
+    configs = {0.0: FAST}
+    with SweepExecutor(workers=2) as executor:
+        sweep("s", "pf", configs, seeds=(1,), strategies=("DCRD",),
+              executor=executor)
+        pool = executor._pool
+        assert pool is not None
+        sweep("s", "pf", configs, seeds=(2,), strategies=("DCRD",),
+              executor=executor)
+        assert executor._pool is pool  # same pool, no churn
+    assert executor._pool is None  # released on exit
+
+
+def test_executor_serves_repeat_grid_from_cache(tmp_path):
+    configs = {0.0: FAST, 0.08: FAST.with_updates(failure_probability=0.08)}
+    kwargs = dict(seeds=(1, 2), strategies=("DCRD", "D-Tree"))
+    cache = SweepCache(tmp_path / "cache")
+    with SweepExecutor(cache=cache) as executor:
+        cold = sweep("s", "pf", configs, executor=executor, **kwargs)
+        assert executor.counters()["sweep.cells_computed"] == 8
+        warm = sweep("s", "pf", configs, executor=executor, **kwargs)
+        counters = executor.counters()
+    assert counters["sweep.cells_cached"] == 8
+    assert counters["sweep.cells_computed"] == 8  # nothing recomputed
+    assert counters["sweep.checkpoint_writes"] == 8
+    for x in cold.x_values:
+        for strategy in cold.strategies:
+            assert (
+                warm.cell(x, strategy).as_dict()
+                == cold.cell(x, strategy).as_dict()
+            )
+
+
+def test_executor_warm_sharing_matches_plain_runs(tmp_path):
+    # Warm artifacts (shared topologies, Dijkstra maps) and the cache
+    # must be invisible: every path yields the plain run_single result.
+    configs = {0.0: FAST, 0.08: FAST.with_updates(failure_probability=0.08)}
+    kwargs = dict(seeds=(1, 2), strategies=("DCRD", "D-Tree"))
+    with SweepExecutor(cache=SweepCache(tmp_path / "c1")) as executor:
+        serial = sweep("s", "pf", configs, executor=executor, **kwargs)
+    with SweepExecutor(workers=2, cache=SweepCache(tmp_path / "c2")) as executor:
+        pooled = sweep("s", "pf", configs, executor=executor, **kwargs)
+    plain = sweep("s", "pf", configs, **kwargs)
+    for x in plain.x_values:
+        for strategy in plain.strategies:
+            want = plain.cell(x, strategy).as_dict()
+            assert serial.cell(x, strategy).as_dict() == want
+            assert pooled.cell(x, strategy).as_dict() == want
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_failed_grid_journals_completed_cells(tmp_path, workers):
+    configs = {0.0: FAST}
+    cache = SweepCache(tmp_path / "cache")
+    with SweepExecutor(workers=workers, cache=cache) as executor:
+        with pytest.raises(SweepWorkerError) as excinfo:
+            sweep("s", "pf", configs, seeds=(1,),
+                  strategies=("DCRD", "NoSuchStrategy"), executor=executor)
+    assert excinfo.value.strategy == "NoSuchStrategy"
+    cache.close()
+    # The good cell survived the sibling's failure and is resumable.
+    resumed = SweepCache(tmp_path / "cache")
+    assert resumed.get(cell_digest(FAST, "DCRD", 1)) is not None
+    with SweepExecutor(cache=resumed) as executor:
+        sweep("s", "pf", configs, seeds=(1,), strategies=("DCRD",),
+              executor=executor)
+        assert executor.counters().get("sweep.cells_computed", 0) == 0
 
 
 def test_sweep_metrics_table_layout():
