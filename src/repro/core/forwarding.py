@@ -29,6 +29,15 @@ Receiving a bounced packet simply starts a new task at the upstream broker —
 "the upstream node running the same DCRD algorithm tries the next node on
 its sending list" (§III) falls out naturally because the bounced copy's
 routing path disqualifies everything already explored.
+
+The whole state machine is event-driven against the
+:mod:`repro.substrate` contract — timing flows exclusively through the
+shared :class:`~repro.routing.arq.ArqSender` and transmission through
+``ctx.network`` — so the identical forwarding logic runs on the
+discrete-event kernel and on the live asyncio TCP transport; the
+conformance suite (``tests/integration/test_live_conformance.py``)
+asserts both substrates deliver the same pairs under the same scripted
+faults.
 """
 
 from __future__ import annotations

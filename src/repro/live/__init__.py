@@ -1,0 +1,27 @@
+"""Live mode: the broker stack over asyncio TCP sockets.
+
+This package is the wall-clock/socket substrate behind the
+:mod:`repro.substrate` contract — the same :class:`BrokerRuntime`,
+:class:`ArqSender` and DCRD forwarding logic that runs on the
+discrete-event kernel, deployed over real loopback TCP:
+
+* :mod:`repro.live.clock` — :class:`WallClock`, the asyncio-loop Clock;
+* :mod:`repro.live.codec` — length-prefixed JSON frame codec;
+* :mod:`repro.live.faults` — the seeded deterministic fault-injection
+  shim (drop/duplicate/reorder/delay at the transport seam);
+* :mod:`repro.live.transport` — :class:`LiveTransport`, per-peer TCP
+  connection management + probe-bus observability;
+* :mod:`repro.live.config` — :class:`LiveConfig`, validated runtime knobs;
+* :mod:`repro.live.scenarios` — scripted differential scenarios shared
+  with the sim substrate;
+* :mod:`repro.live.runtime` — the live composition root
+  (:func:`run_live_scenario`).
+
+Equivalence with the sim substrate is pinned by
+``tests/integration/test_live_conformance.py``; see ``docs/LIVE_MODE.md``.
+"""
+
+from repro.live.config import LiveConfig
+from repro.live.faults import DropRule, FaultInjector
+
+__all__ = ["LiveConfig", "DropRule", "FaultInjector"]

@@ -1,0 +1,109 @@
+"""The wall-clock :class:`~repro.substrate.Clock` over an asyncio loop.
+
+:class:`WallClock` reports seconds since its construction (monotonic,
+``loop.time()``-based) and arms real timers via ``loop.call_later``. It
+duck-types the two conventions the broker stack's hot paths rely on (see
+:mod:`repro.substrate`):
+
+* ``_now`` is readable as a plain attribute access — here a property
+  alias of :attr:`now`, so ``ctx.sim._now`` works unchanged;
+* it does **not** offer ``calendar_kernel()``, which routes the ARQ layer
+  onto its portable scheduling path.
+
+Timer handles (:class:`WallTimer`) carry a clock-unique ``seq`` token so
+the ``timer_started``/``timer_cancelled``/``timer_fired`` probe families —
+and through them the sanitizer's settlement table — work identically on
+both substrates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.util.errors import SimulationError
+
+
+class WallTimer:
+    """A cancellable wall-clock timer (portable :class:`TimerHandle`)."""
+
+    __slots__ = ("time", "seq", "cancelled", "fired", "_handle")
+
+    def __init__(self, time: float, seq: int) -> None:
+        self.time = time
+        self.seq = seq
+        self.cancelled = False
+        self.fired = False
+        self._handle: Optional[asyncio.TimerHandle] = None
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing. Safe to call more than once."""
+        if self.cancelled or self.fired:
+            return
+        self.cancelled = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"WallTimer(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class WallClock:
+    """Wall time relative to runtime start, timers on the asyncio loop."""
+
+    def __init__(self, loop: Optional[asyncio.AbstractEventLoop] = None) -> None:
+        self._loop = loop if loop is not None else asyncio.get_event_loop()
+        self._origin = self._loop.time()
+        self._seq = itertools.count()
+        #: Timers armed over the clock's lifetime (observation only).
+        self.timers_scheduled = 0
+
+    @property
+    def now(self) -> float:
+        """Seconds since the runtime started."""
+        return self._loop.time() - self._origin
+
+    # The broker/forwarding/ARQ hot paths read ``ctx.sim._now`` as a bare
+    # attribute; aliasing the property keeps that contract without a
+    # kernel-style mutable float.
+    _now = now
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> WallTimer:
+        """Run ``callback(*args)`` after ``delay`` seconds; returns a handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        timer = WallTimer(self.now + delay, next(self._seq))
+        timer._handle = self._loop.call_later(delay, self._fire, timer, callback, args)
+        self.timers_scheduled += 1
+        return timer
+
+    def schedule_fire(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellation handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if delay == 0.0:
+            # Zero-delay deliveries run synchronously: the loopback frame
+            # is already "on the wire" and the loop's FIFO would only add
+            # jitter between causally ordered events.
+            callback(*args)
+            return
+        self._loop.call_later(delay, callback, *args)
+        self.timers_scheduled += 1
+
+    @staticmethod
+    def _fire(timer: WallTimer, callback: Callable[..., None], args: tuple) -> None:
+        if timer.cancelled:  # pragma: no cover - call_later was cancelled too
+            return
+        timer.fired = True
+        timer._handle = None
+        callback(*args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WallClock(now={self.now:.6f})"

@@ -1,0 +1,142 @@
+"""Length-prefixed wire codec for the live transport.
+
+One wire message is a 4-byte big-endian length prefix followed by a JSON
+envelope: ``{"s": <sender>, "k": "d"|"a", ...frame fields}``. JSON keeps
+the frames inspectable on the wire (``tcpdump``-friendly) and the encoder
+is canonical — sorted keys, no whitespace, sorted destination sets — so a
+frame encodes to the same bytes on every run, which the golden live trace
+and the shim's byte-transparency test rely on.
+
+The decoder is strict: frames above the configured size bound, truncated
+streams, or envelopes that do not round-trip into a
+:class:`~repro.pubsub.messages.PacketFrame`/:class:`AckFrame` raise
+:class:`CodecError` instead of silently desynchronising the stream.
+``float('inf')`` priorities survive the trip via JSON's Python-dialect
+``Infinity`` literal.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Tuple
+
+from repro.pubsub.messages import AckFrame, PacketFrame
+from repro.util.errors import SimulationError
+from repro.util.validation import require_positive
+
+#: struct layout of the frame length prefix (4-byte big-endian unsigned).
+LENGTH_PREFIX = struct.Struct(">I")
+
+
+class CodecError(SimulationError):
+    """A wire message could not be encoded or decoded."""
+
+
+class FrameCodec:
+    """Encode/decode broker frames to length-prefixed JSON messages."""
+
+    def __init__(self, max_frame_bytes: int = 1 << 20) -> None:
+        require_positive(max_frame_bytes, "max_frame_bytes")
+        self.max_frame_bytes = max_frame_bytes
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode_payload(self, sender: int, frame: Any) -> bytes:
+        """The JSON envelope of *frame* as sent by *sender* (no prefix)."""
+        if frame.__class__ is AckFrame or isinstance(frame, AckFrame):
+            envelope = {
+                "s": sender,
+                "k": "a",
+                "m": frame.msg_id,
+                "n": frame.acker,
+                "t": frame.transfer_id,
+            }
+        elif frame.__class__ is PacketFrame or isinstance(frame, PacketFrame):
+            envelope = {
+                "s": sender,
+                "k": "d",
+                "m": frame.msg_id,
+                "t": frame.transfer_id,
+                "tp": frame.topic,
+                "o": frame.origin,
+                "pt": frame.publish_time,
+                "d": sorted(frame.destinations),
+                "rp": list(frame.routing_path),
+                "sr": list(frame.source_route),
+                "fi": frame.fragment_index,
+                "fn": frame.fragments_needed,
+                "sz": frame.size,
+                "pr": frame.priority,
+            }
+        else:
+            raise CodecError(f"cannot encode frame of type {type(frame).__name__}")
+        payload = json.dumps(
+            envelope, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        if len(payload) > self.max_frame_bytes:
+            raise CodecError(
+                f"encoded frame is {len(payload)} bytes, exceeds the "
+                f"{self.max_frame_bytes}-byte limit"
+            )
+        return payload
+
+    def frame_message(self, payload: bytes) -> bytes:
+        """Prepend the length prefix to an encoded *payload*."""
+        return LENGTH_PREFIX.pack(len(payload)) + payload
+
+    def encode(self, sender: int, frame: Any) -> bytes:
+        """One complete wire message (prefix + envelope) for *frame*."""
+        return self.frame_message(self.encode_payload(sender, frame))
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode_payload(self, payload: bytes) -> Tuple[int, Any]:
+        """Parse one envelope back into ``(sender, frame)``."""
+        if len(payload) > self.max_frame_bytes:
+            raise CodecError(
+                f"received frame is {len(payload)} bytes, exceeds the "
+                f"{self.max_frame_bytes}-byte limit"
+            )
+        try:
+            envelope = json.loads(payload.decode("utf-8"))
+            sender = envelope["s"]
+            kind = envelope["k"]
+            if kind == "a":
+                frame: Any = AckFrame(envelope["m"], envelope["n"], envelope["t"])
+            elif kind == "d":
+                frame = PacketFrame(
+                    msg_id=envelope["m"],
+                    transfer_id=envelope["t"],
+                    topic=envelope["tp"],
+                    origin=envelope["o"],
+                    publish_time=envelope["pt"],
+                    destinations=frozenset(envelope["d"]),
+                    routing_path=tuple(envelope["rp"]),
+                    source_route=tuple(envelope["sr"]),
+                    fragment_index=envelope["fi"],
+                    fragments_needed=envelope["fn"],
+                    size=envelope["sz"],
+                    priority=envelope["pr"],
+                )
+            else:
+                raise CodecError(f"unknown frame kind {kind!r}")
+            if not isinstance(sender, int):
+                raise CodecError(f"sender must be an int, got {sender!r}")
+        except CodecError:
+            raise
+        except (ValueError, KeyError, TypeError, AttributeError) as exc:
+            raise CodecError(f"malformed wire frame: {exc}") from exc
+        return sender, frame
+
+    def split_prefix(self, header: bytes) -> int:
+        """Parse a length prefix, enforcing the frame size bound."""
+        (length,) = LENGTH_PREFIX.unpack(header)
+        if length > self.max_frame_bytes:
+            raise CodecError(
+                f"length prefix announces {length} bytes, exceeds the "
+                f"{self.max_frame_bytes}-byte limit"
+            )
+        return length

@@ -1,0 +1,292 @@
+"""Scripted differential scenarios, shared by the sim and live substrates.
+
+A :class:`Scenario` is a complete adversarial world — topology, workload,
+protocol parameters, and a *fault script* — defined once and executed on
+both substrates: :func:`run_sim_scenario` builds the discrete-event stack
+(faults via ``OverlayNetwork.install_fault_filter``) and
+:func:`repro.live.runtime.run_live_scenario` builds the asyncio TCP stack
+(the same rules inside a :class:`~repro.live.faults.FaultInjector`). The
+conformance suite asserts the two executions agree.
+
+Scenario fault scripts are deliberately restricted to *whole-run,
+per-direction, per-kind drop-all rules* (dead links, dead ACK
+directions). Those make the delivered-pair set a timing-independent
+function of the world: which copies die never depends on when a frame
+crosses the seam, so wall-clock jitter cannot change what the live run
+delivers. Probabilistic shim modes (drop/duplicate/reorder/delay) are
+exercised by the shim's own test matrix instead.
+
+Timing margins: scenarios run with ``ack_timeout_factor=3.0`` and a
+250 ms slack so a loopback RTT (imposed link delays ≈ 2·alpha plus
+scheduler noise) can never spuriously overrun an ACK timer — spurious
+retransmits would not change the delivered set, but they would make
+counter comparisons noisy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro import probes as _probes
+from repro import sanity as _sanity
+from repro.core.forwarding import DcrdStrategy
+from repro.live.faults import DropRule, ack_loss_rules, dead_link_rules, link_filter
+from repro.metrics.collector import MetricsCollector
+from repro.overlay.links import OverlayNetwork
+from repro.overlay.monitor import LinkMonitor
+from repro.overlay.topology import Topology, canonical_edge
+from repro.pubsub.broker import BrokerRuntime
+from repro.pubsub.messages import next_message_id, reset_message_ids
+from repro.pubsub.topics import Subscription, TopicSpec, Workload
+from repro.routing.base import ProtocolParams, RuntimeContext
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.util.errors import ConfigurationError
+
+import networkx as nx
+
+#: Scenario kinds the conformance suite iterates over.
+SCENARIO_KINDS = ("clean", "link_loss", "ack_loss", "failover_bounce")
+
+
+@dataclass
+class Scenario:
+    """One scripted differential world (see module docstring)."""
+
+    name: str
+    edges: Sequence[Tuple[int, int, float]]
+    publisher: int
+    subscribers: Sequence[Tuple[int, float]]
+    rules: Callable[[], Tuple[DropRule, ...]] = lambda: ()
+    topic: int = 0
+    publishes: int = 3
+    publish_interval: float = 0.06
+    m: int = 2
+    ack_timeout_factor: float = 3.0
+    ack_timeout_slack: float = 0.25
+    end_time: float = 20.0
+
+    def topology(self) -> Topology:
+        graph = nx.Graph()
+        delays = {}
+        for u, v, delay in self.edges:
+            graph.add_edge(u, v)
+            delays[canonical_edge(u, v)] = delay
+        graph.add_nodes_from(range(max(graph.nodes) + 1))
+        return Topology(graph, delays, name=self.name)
+
+    def workload(self) -> Workload:
+        spec = TopicSpec(
+            topic=self.topic,
+            publisher=self.publisher,
+            subscriptions=tuple(
+                Subscription(node=node, deadline=deadline)
+                for node, deadline in self.subscribers
+            ),
+            publish_interval=self.publish_interval,
+            phase=0.0,
+        )
+        return Workload(topics=[spec])
+
+    def params(self) -> ProtocolParams:
+        return ProtocolParams(
+            m=self.m,
+            ack_timeout_factor=self.ack_timeout_factor,
+            ack_timeout_slack=self.ack_timeout_slack,
+        )
+
+
+#: The 6-node ring + chords world of the clean/link-loss/ACK-loss kinds.
+#: The (0, 3) chord is the shortest 0 -> 3 route, so killing it (or its
+#: ACK direction) forces retransmission, failover and re-dispatch while
+#: the ring keeps every pair reachable.
+_RING_EDGES = (
+    (0, 1, 0.02),
+    (1, 2, 0.02),
+    (2, 3, 0.02),
+    (3, 4, 0.02),
+    (4, 5, 0.02),
+    (5, 0, 0.02),
+    (0, 3, 0.025),
+    (1, 4, 0.025),
+)
+_RING_SUBSCRIBERS = ((2, 5.0), (3, 5.0), (4, 5.0))
+
+#: The PR-4 diamond: 0-1-3 is the fast path, 0-2-3 the failover path.
+_DIAMOND_EDGES = ((0, 1, 0.02), (1, 3, 0.02), (0, 2, 0.04), (2, 3, 0.04))
+
+
+def make_scenario(kind: str, seed: int = 0) -> Scenario:
+    """The scripted world of *kind* (see :data:`SCENARIO_KINDS`)."""
+    if kind == "clean":
+        return Scenario(
+            name="clean",
+            edges=_RING_EDGES,
+            publisher=0,
+            subscribers=_RING_SUBSCRIBERS,
+        )
+    if kind == "link_loss":
+        # The 0-3 chord silently eats every frame: DATA copies die on the
+        # wire, the m-budget drains, and DCRD fails over onto the ring.
+        return Scenario(
+            name="link_loss",
+            edges=_RING_EDGES,
+            publisher=0,
+            subscribers=_RING_SUBSCRIBERS,
+            rules=lambda: dead_link_rules(0, 3),
+        )
+    if kind == "ack_loss":
+        # Data crosses the chord fine; the 3 -> 0 ACKs never come back.
+        # Every chord copy is delivered yet unacknowledged, so the sender
+        # retransmits, abandons, and re-dispatches over the ring — the
+        # receiver's dedup keeps delivery at-most-once throughout.
+        return Scenario(
+            name="ack_loss",
+            edges=_RING_EDGES,
+            publisher=0,
+            subscribers=_RING_SUBSCRIBERS,
+            rules=lambda: ack_loss_rules(3, 0),
+        )
+    if kind == "failover_bounce":
+        # The golden diamond: the 1 -> 3 fast path is dead, broker 1 has
+        # no sideways alternative, so the copy bounces upstream (§III-D)
+        # and node 0 re-dispatches through 2.
+        return Scenario(
+            name="failover_bounce",
+            edges=_DIAMOND_EDGES,
+            publisher=0,
+            subscribers=((3, 5.0),),
+            rules=lambda: dead_link_rules(1, 3),
+        )
+    raise ConfigurationError(
+        f"unknown scenario kind {kind!r}; expected one of {SCENARIO_KINDS}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shared accounting
+# ---------------------------------------------------------------------------
+class AcceptLedger:
+    """Probe observer recording post-dedup accepts and local deliveries.
+
+    ``accepts[(transfer_id, node)]`` must never exceed 1 — that is the
+    at-most-once-post-dedup contract the conformance suite asserts on both
+    substrates (the sanitizer checks it live; the ledger makes it an
+    explicit, comparable artifact).
+    """
+
+    def __init__(self) -> None:
+        self.accepts: Dict[Tuple[int, int], int] = {}
+        self.deliveries: List[Tuple[int, int]] = []
+
+    def probe_handlers(self) -> Dict[str, Callable[..., Any]]:
+        return {"broker_accept": self._on_accept, "deliver": self._on_deliver}
+
+    def _on_accept(self, node: int, sender: int, frame: Any) -> None:
+        key = (frame.transfer_id, node)
+        self.accepts[key] = self.accepts.get(key, 0) + 1
+
+    def _on_deliver(self, t: float, node: int, frame: Any) -> None:
+        self.deliveries.append((frame.msg_id, node))
+
+    @property
+    def max_accepts_per_transfer(self) -> int:
+        return max(self.accepts.values(), default=0)
+
+
+def harvest(
+    scenario: Scenario,
+    ctx: RuntimeContext,
+    strategy: DcrdStrategy,
+    ledger: AcceptLedger,
+    sanitizer: Optional[_sanity.Sanitizer],
+) -> Dict[str, Any]:
+    """Reduce one finished run (either substrate) to its comparable facts."""
+    metrics = ctx.metrics
+    delivered: FrozenSet[Tuple[int, int]] = frozenset(
+        (outcome.msg_id, outcome.subscriber)
+        for outcome in metrics.outcomes()
+        if outcome.delivered
+    )
+    gave_up = frozenset(
+        (outcome.msg_id, outcome.subscriber)
+        for outcome in metrics.outcomes()
+        if outcome.gave_up
+    )
+    result: Dict[str, Any] = {
+        "scenario": scenario.name,
+        "published": metrics.messages_published,
+        "expected": metrics.expected_deliveries,
+        "delivered": delivered,
+        "gave_up": gave_up,
+        "duplicates": metrics.duplicate_count(),
+        "max_accepts_per_transfer": ledger.max_accepts_per_transfer,
+        "deliveries": tuple(sorted(ledger.deliveries)),
+        "retransmissions": strategy.arq.retransmissions,
+        "abandoned": strategy.abandoned,
+        "in_flight": strategy.arq.in_flight,
+    }
+    if sanitizer is not None:
+        perf = sanitizer.perf_counters()
+        result["timers_started"] = perf["sanity.timers_started"]
+        result["timers_settled"] = perf["sanity.timers_settled"]
+        result["violations"] = perf["sanity.violations"]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The simulated execution of a scenario
+# ---------------------------------------------------------------------------
+def run_sim_scenario(
+    scenario: Scenario, seed: int = 0, sanitize: bool = True
+) -> Dict[str, Any]:
+    """Execute *scenario* on the discrete-event substrate."""
+    reset_message_ids()
+    topology = scenario.topology()
+    sim = Simulator()
+    streams = RandomStreams(seed)
+    network = OverlayNetwork(sim, topology, streams, loss_rate=0.0)
+    rules = scenario.rules()
+    if rules:
+        network.install_fault_filter(link_filter(rules))
+    monitor = LinkMonitor(topology, network, streams, mode="analytic")
+    workload = scenario.workload()
+    ctx = RuntimeContext(
+        sim=sim,
+        topology=topology,
+        network=network,
+        monitor=monitor,
+        workload=workload,
+        metrics=MetricsCollector(),
+        streams=streams,
+        params=scenario.params(),
+    )
+    strategy = DcrdStrategy(ctx)
+    strategy.setup()
+    brokers = [BrokerRuntime(node, ctx, strategy) for node in topology.nodes]
+    assert brokers  # attach side effects; the list itself is not used
+    sanitizer = _sanity.Sanitizer() if sanitize else None
+    ledger = AcceptLedger()
+    spec = workload.topic(scenario.topic)
+    deadlines = {sub.node: sub.deadline for sub in spec.subscriptions}
+
+    def publish_one() -> None:
+        msg_id = next_message_id()
+        ctx.metrics.expect(msg_id, scenario.topic, sim.now, deadlines)
+        strategy.publish(spec, msg_id)
+
+    for i in range(scenario.publishes):
+        sim.schedule(i * scenario.publish_interval, publish_one)
+    _sanity.install(sanitizer)
+    _probes.attach(ledger)
+    try:
+        try:
+            sim.run(until=scenario.end_time)
+        finally:
+            _sanity.uninstall()
+        if sanitizer is not None:
+            sanitizer.finish(ctx.metrics, sim.now)
+    finally:
+        _probes.detach(ledger)
+    return harvest(scenario, ctx, strategy, ledger, sanitizer)

@@ -1,0 +1,317 @@
+"""The socket :class:`~repro.substrate.Transport`: brokers over real TCP.
+
+:class:`LiveTransport` is the wall-clock twin of
+:class:`~repro.overlay.links.OverlayNetwork`. It exposes the same
+data-plane surface — ``attach``/``attach_ack``/``detach``, ``transmit``,
+the ``send_data``/``send_ack`` fast-path names, ``stats``,
+``link_success_probability`` — so :class:`BrokerRuntime`,
+:class:`ArqSender` and the DCRD forwarding logic run over it without a
+single branch on the substrate.
+
+Topology and wiring
+-------------------
+One asyncio TCP server per broker node, one persistent connection per
+*directed* overlay edge (the ``u -> v`` writer is owned by ``u``; ``v``'s
+server reads it). Frames are length-prefixed JSON messages
+(:mod:`repro.live.codec`); each envelope carries its sender, so
+connections need no handshake. When
+:attr:`~repro.live.config.LiveConfig.impose_link_delays` is set (the
+default) every write is postponed by the topology's propagation delay for
+its link, keeping live timings comparable to the simulated world.
+
+Observability
+-------------
+The transport fires the same probe families as the sim network —
+``on_transmit`` (DATA only, with ``survived``/``cause``), ``on_arrive``,
+``on_arrival_drop`` — so the sanitizer's conservation/settlement checks
+and the tracer work unchanged in live mode. Faults injected by the
+optional :class:`~repro.live.faults.FaultInjector` shim surface as
+``cause="injected"`` losses, mirroring
+``OverlayNetwork.install_fault_filter`` exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro import probes as _probes
+from repro.live.codec import CodecError, FrameCodec
+from repro.live.config import LiveConfig
+from repro.live.faults import ACK as ACK_LABEL
+from repro.live.faults import DATA as DATA_LABEL
+from repro.live.faults import FaultInjector
+from repro.overlay.links import FrameKind, LinkStats
+from repro.pubsub.messages import AckFrame
+from repro.util.errors import SimulationError
+
+FrameHandler = Callable[[int, Any], None]
+
+
+class LiveTransport:
+    """The broker stack's transport over per-peer asyncio TCP connections."""
+
+    def __init__(
+        self,
+        topology: Any,
+        clock: Any,
+        config: Optional[LiveConfig] = None,
+        fault: Optional[FaultInjector] = None,
+    ) -> None:
+        self.topology = topology
+        self.clock = clock
+        self.config = config if config is not None else LiveConfig()
+        self.codec = FrameCodec(self.config.max_frame_bytes)
+        self.fault = fault
+        self.stats = LinkStats()
+        self._handlers: Dict[int, FrameHandler] = {}
+        self._ack_handlers: Dict[int, FrameHandler] = {}
+        self._ack_loss_observers: List[Callable[[int], None]] = []
+        # Directed-edge wiring, built by start(): u -> v writer and the
+        # imposed per-direction propagation delay.
+        self._writers: Dict[Tuple[int, int], asyncio.StreamWriter] = {}
+        self._delays: Dict[Tuple[int, int], float] = {}
+        self._servers: List[asyncio.AbstractServer] = []
+        self._reader_tasks: List["asyncio.Task[None]"] = []
+        self._ports: Dict[int, int] = {}
+        self.started = False
+        #: Frames whose stream raised a codec error (observability only).
+        self.codec_errors = 0
+
+    # ------------------------------------------------------------------
+    # Handler registry (identical contract to OverlayNetwork)
+    # ------------------------------------------------------------------
+    def attach(self, node: int, handler: FrameHandler) -> None:
+        """Register *handler* as the frame sink of *node*."""
+        if node not in self.topology.nodes:
+            raise SimulationError(f"node {node} is not in the topology")
+        self._handlers[node] = handler
+
+    def attach_ack(self, node: int, handler: FrameHandler) -> None:
+        """Register a dedicated ACK sink for *node* (pure fast path)."""
+        if node not in self.topology.nodes:
+            raise SimulationError(f"node {node} is not in the topology")
+        self._ack_handlers[node] = handler
+
+    def detach(self, node: int) -> None:
+        """Remove *node*'s handlers; frames to it are silently dropped."""
+        self._handlers.pop(node, None)
+        self._ack_handlers.pop(node, None)
+
+    def register_ack_loss_observer(self, observer: Callable[[int], None]) -> None:
+        """Notify *observer(transfer_id)* when an ACK is dropped at the seam."""
+        self._ack_loss_observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind every broker's server, then dial one writer per direction."""
+        if self.started:
+            raise SimulationError("transport already started")
+        host = self.config.host
+        for node in self.topology.nodes:
+
+            def make_reader(dst: int) -> Callable[..., Any]:
+                async def on_connect(
+                    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+                ) -> None:
+                    task = asyncio.ensure_future(self._read_loop(dst, reader))
+                    self._reader_tasks.append(task)
+
+                return on_connect
+
+            address = self.config.address_of(node)
+            bind_host, bind_port = address if address is not None else (host, 0)
+            server = await asyncio.start_server(make_reader(node), bind_host, bind_port)
+            self._servers.append(server)
+            self._ports[node] = server.sockets[0].getsockname()[1]
+        impose = self.config.impose_link_delays
+        for u, v in self.topology.edges():
+            for src, dst in ((u, v), (v, u)):
+                _, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, self._ports[dst]),
+                    self.config.connect_timeout,
+                )
+                self._writers[(src, dst)] = writer
+                self._delays[(src, dst)] = (
+                    self.topology.delay(src, dst) if impose else 0.0
+                )
+        self.started = True
+
+    async def close(self) -> None:
+        """Tear down connections, servers, and reader tasks."""
+        if self.fault is not None:
+            # Frames still held by the reorder shim die with the run; they
+            # were adversarially withheld, so they count as injected losses
+            # (they never fired on_transmit — the sanitizer never saw them).
+            for _ in self.fault.flush():
+                self.stats._lost_injected[FrameKind.DATA.idx] += 1
+        for writer in self._writers.values():
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        for writer in self._writers.values():
+            try:
+                await writer.wait_closed()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        for task in self._reader_tasks:
+            task.cancel()
+        for task in self._reader_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # pragma: no cover
+                pass
+        self._writers.clear()
+        self._servers.clear()
+        self._reader_tasks.clear()
+        self.started = False
+
+    def bound_port(self, node: int) -> int:
+        """The TCP port *node*'s server actually bound (after start)."""
+        return self._ports[node]
+
+    # ------------------------------------------------------------------
+    # Send side
+    # ------------------------------------------------------------------
+    def transmit(
+        self, src: int, dst: int, frame: Any, kind: FrameKind, reliable: bool = False
+    ) -> bool:
+        """Send *frame* on the ``src -> dst`` connection.
+
+        Mirrors ``OverlayNetwork.transmit``: counts the send, consults the
+        fault shim, fires the DATA-only ``on_transmit`` probe per emitted
+        copy, and returns whether at least one copy went onto the wire
+        (tests/tracing only — senders learn outcomes via ACKs).
+        """
+        if not self.topology.has_edge(src, dst):
+            raise SimulationError(f"no overlay link {src} -> {dst}")
+        kidx = kind.idx
+        stats = self.stats
+        stats._volume[kidx] += getattr(frame, "size", 1.0)
+        payload = self.codec.encode_payload(src, frame)
+        if self.fault is not None:
+            label = ACK_LABEL if kind is FrameKind.ACK else DATA_LABEL
+            actions = self.fault.plan(src, dst, label, (frame, payload))
+        else:
+            actions = [(0.0, (frame, payload))]
+        if not actions:
+            # Dropped (or held back for reorder) at the seam. Either way
+            # nothing reaches the wire now; a held frame re-emerges inside
+            # a later frame's plan carrying its own (frame, payload) pair.
+            stats._sent[kidx] += 1
+            stats._lost_injected[kidx] += 1
+            if kind is FrameKind.DATA:
+                probe = _probes.on_transmit
+                if probe is not None:
+                    probe(
+                        self.clock.now,
+                        src,
+                        dst,
+                        frame,
+                        False,
+                        "injected",
+                        self._delays.get((src, dst), 0.0),
+                        None,
+                    )
+            elif kind is FrameKind.ACK:
+                self._notify_ack_loss(frame)
+            return False
+        prop = self._delays.get((src, dst), 0.0)
+        probe_tx = _probes.on_transmit if kind is FrameKind.DATA else None
+        for extra, (copy_frame, copy_payload) in actions:
+            stats._sent[kidx] += 1
+            if probe_tx is not None:
+                probe_tx(self.clock.now, src, dst, copy_frame, True, None, prop, None)
+            message = self.codec.frame_message(copy_payload)
+            total = prop + extra
+            if total > 0.0:
+                self.clock.schedule_fire(total, self._write, src, dst, message)
+            else:
+                self._write(src, dst, message)
+        return True
+
+    def send_data(self, src: int, dst: int, frame: Any) -> Optional[bool]:
+        """DATA fast-path name; the live outcome is never knowable here."""
+        self.transmit(src, dst, frame, FrameKind.DATA)
+        return None
+
+    def send_ack(self, src: int, dst: int, frame: Any) -> Optional[bool]:
+        """ACK fast-path name; the live outcome is never knowable here."""
+        self.transmit(src, dst, frame, FrameKind.ACK)
+        return None
+
+    def _write(self, src: int, dst: int, message: bytes) -> None:
+        writer = self._writers.get((src, dst))
+        if writer is None or writer.is_closing():  # pragma: no cover - teardown race
+            return
+        writer.write(message)
+
+    def _notify_ack_loss(self, frame: Any) -> None:
+        transfer_id = getattr(frame, "transfer_id", None)
+        if transfer_id is None:
+            return
+        for observer in self._ack_loss_observers:
+            observer(transfer_id)
+
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
+    async def _read_loop(self, dst: int, reader: asyncio.StreamReader) -> None:
+        codec = self.codec
+        try:
+            while True:
+                header = await reader.readexactly(4)
+                payload = await reader.readexactly(codec.split_prefix(header))
+                try:
+                    sender, frame = codec.decode_payload(payload)
+                except CodecError:
+                    self.codec_errors += 1
+                    continue
+                self._dispatch(sender, dst, frame)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return  # peer closed the connection: normal teardown
+        except asyncio.CancelledError:
+            raise
+
+    def _dispatch(self, src: int, dst: int, frame: Any) -> None:
+        """Hand one received frame to *dst*'s sink (sim-identical dispatch)."""
+        is_ack = frame.__class__ is AckFrame or isinstance(frame, AckFrame)
+        kind = FrameKind.ACK if is_ack else FrameKind.DATA
+        handler: Optional[FrameHandler] = None
+        if is_ack:
+            handler = self._ack_handlers.get(dst)
+        if handler is None:
+            handler = self._handlers.get(dst)
+        if handler is None:
+            if kind is FrameKind.DATA:
+                probe = _probes.on_arrival_drop
+                if probe is not None:
+                    probe(self.clock.now, src, dst, frame, "no_handler")
+            return
+        self.stats._delivered[kind.idx] += 1
+        if kind is FrameKind.DATA:
+            probe = _probes.on_arrive
+            if probe is not None:
+                probe(self.clock.now, src, dst, frame)
+        handler(src, frame)
+
+    # ------------------------------------------------------------------
+    # Convenience queries used by routing layers
+    # ------------------------------------------------------------------
+    def link_success_probability(self, u: int, v: int) -> float:
+        """TCP is reliable; injected faults are adversarial, not stochastic."""
+        return 1.0
+
+    def link_up(self, u: int, v: int) -> bool:
+        """Live links have no scripted failure epochs."""
+        return True
+
+    def queueing_backlog(self, src: int, dst: int) -> float:
+        """Loopback links are effectively infinite-capacity."""
+        return 0.0

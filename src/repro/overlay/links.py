@@ -20,6 +20,14 @@ ACK, and retransmission goes through it), so per-direction immutable state —
 propagation delay, effective loss rate, receiver handler — is resolved once
 into :attr:`OverlayNetwork._dir_cache` and reused; the cache is invalidated
 whenever a handler attaches/detaches or ``link_loss_rates`` is mutated.
+
+:class:`OverlayNetwork` is the simulated implementation of the substrate
+:class:`~repro.substrate.Transport` contract; the live runtime substitutes
+:class:`~repro.live.transport.LiveTransport` (asyncio TCP) behind the same
+attach/transmit surface. :meth:`OverlayNetwork.install_fault_filter` is
+the sim-side twin of the live transport's fault-injection shim, so the
+differential conformance suite can script identical adversarial worlds on
+both substrates.
 """
 
 from __future__ import annotations
@@ -146,6 +154,7 @@ class LinkStats:
         "_lost_failure",
         "_lost_random",
         "_lost_node_down",
+        "_lost_injected",
         "_dropped_expired",
     )
 
@@ -156,6 +165,7 @@ class LinkStats:
         self._lost_failure = [0, 0, 0]
         self._lost_random = [0, 0, 0]
         self._lost_node_down = [0, 0, 0]
+        self._lost_injected = [0, 0, 0]
         self._dropped_expired = [0, 0, 0]
 
     @property
@@ -181,6 +191,11 @@ class LinkStats:
     @property
     def lost_node_down(self) -> _KindCounters:
         return _KindCounters(self._lost_node_down)
+
+    @property
+    def lost_injected(self) -> _KindCounters:
+        """Frames dropped by an installed deterministic fault filter."""
+        return _KindCounters(self._lost_injected)
 
     @property
     def dropped_expired(self) -> _KindCounters:
@@ -351,6 +366,11 @@ class OverlayNetwork:
         self._lost_failure = stats._lost_failure
         self._lost_random = stats._lost_random
         self._lost_node_down = stats._lost_node_down
+        self._lost_injected = stats._lost_injected
+        # Optional deterministic fault seam (install_fault_filter): the
+        # sim-side twin of the live transport's fault-injection shim. None
+        # (the default) keeps every hot path on its historical branch.
+        self._fault_filter: Optional[Callable[[int, int, FrameKind, Any], bool]] = None
         self.transmissions: list = []
         self._trace = trace
         self._loss_rng = streams.get("loss")
@@ -430,6 +450,27 @@ class OverlayNetwork:
             raise SimulationError(f"node {node} is not in the topology")
         self._ack_handlers[node] = handler
         self._dir_cache.clear()
+
+    def install_fault_filter(
+        self, fault_filter: Optional[Callable[[int, int, FrameKind, Any], bool]]
+    ) -> None:
+        """Install a deterministic transport-seam fault filter (or remove it).
+
+        ``fault_filter(src, dst, kind, frame) -> bool`` is consulted once
+        per transmission, after the send is counted but before any link
+        hazard; returning ``True`` drops the frame at the seam (counted in
+        ``stats.lost_injected``, cause ``"injected"``). This is the
+        simulated twin of the live transport's fault-injection shim (see
+        :mod:`repro.live.faults`), letting the differential conformance
+        suite script identical adversarial worlds on both substrates —
+        e.g. per-direction per-kind drop-all rules the epoch-granular
+        :class:`~repro.overlay.failures.FailureSchedule` cannot express.
+        Injected ACK drops notify the registered ACK-loss observers, so
+        latent ARQ timers still materialise correctly. With no filter
+        installed (the default) every path is behaviour-identical to the
+        historical network — the fingerprint matrix pins this.
+        """
+        self._fault_filter = fault_filter
 
     def register_ack_loss_observer(self, observer: Callable[[int], None]) -> None:
         """Subscribe to synchronous ACK-send losses on the fast path.
@@ -576,6 +617,20 @@ class OverlayNetwork:
             size = 1.0  # ACKs/probes are negligibly small (no size field)
         self._sent[kidx] += 1
         self._volume[kidx] += size
+        fault = self._fault_filter
+        if fault is not None and fault(src, dst, kind, frame):
+            # Scripted seam drop: mirrors the live shim's accounting — the
+            # send was counted, the loss is itemised as "injected".
+            self._lost_injected[kidx] += 1
+            if kind is FrameKind.DATA:
+                probe_tx = _probes.on_transmit
+                if probe_tx is not None:
+                    probe_tx(now, src, dst, frame, False, "injected", entry[0], None)
+            elif kind is FrameKind.ACK:
+                self._notify_ack_loss(frame)
+            if self._trace:
+                self.transmissions.append(Transmission(now, src, dst, kind, False))
+            return False
         survived = True
         node_failures = self.node_failures
         if node_failures is not None and (
@@ -707,6 +762,13 @@ class OverlayNetwork:
         now = self.sim._now
         self._sent[0] += 1
         self._volume[0] += frame.size
+        fault = self._fault_filter
+        if fault is not None and fault(src, dst, FrameKind.DATA, frame):
+            self._lost_injected[0] += 1
+            probe_tx = _probes.on_transmit
+            if probe_tx is not None:
+                probe_tx(now, src, dst, frame, False, "injected", entry[0], None)
+            return False
         failures = self.failures
         if failures is not None:
             if self._epoch_failures:
@@ -778,6 +840,11 @@ class OverlayNetwork:
         now = self.sim._now
         self._sent[1] += 1
         self._volume[1] += 1.0
+        fault = self._fault_filter
+        if fault is not None and fault(src, dst, FrameKind.ACK, frame):
+            self._lost_injected[1] += 1
+            self._notify_ack_loss(frame)
+            return False
         failures = self.failures
         if failures is not None:
             if self._epoch_failures:

@@ -15,6 +15,15 @@ that are identical across DCRD and the baselines:
   arrives);
 * delegation of the forwarding decision to the
   :class:`~repro.routing.base.RoutingStrategy`.
+
+The runtime is substrate-portable (see :mod:`repro.substrate`): it reads
+time as ``ctx.sim._now`` and sends through ``ctx.network``'s
+``attach``/``send_ack``/``transmit`` surface, both of which are satisfied
+by the discrete-event kernel + :class:`OverlayNetwork` *and* by the live
+:class:`~repro.live.clock.WallClock` +
+:class:`~repro.live.transport.LiveTransport` pair — the same broker code
+runs unchanged over asyncio TCP sockets, which is what the sim <-> live
+conformance suite pins.
 """
 
 from __future__ import annotations

@@ -24,6 +24,15 @@ holds the raw kernel :class:`~repro.sim.engine.Event` (no
 memoises its per-direction answer until the link monitor publishes new
 estimates, and :attr:`ArqSender.timers_cancelled` counts the cancellations
 feeding the kernel's tombstone compaction.
+
+The sender is substrate-portable (see :mod:`repro.substrate`): when
+``ctx.sim`` offers ``calendar_kernel()`` — the discrete-event kernel —
+timeouts are pushed onto the raw calendar queue exactly as described
+above, byte-identical to every release since the flat-state refactor.
+Any other :class:`~repro.substrate.Clock` (the live wall clock) gets the
+portable path: timeouts go through ``clock.schedule()`` and the returned
+:class:`~repro.substrate.TimerHandle` plays the Event's role. Latent
+timer elision stays kernel-only.
 """
 
 from __future__ import annotations
@@ -160,10 +169,16 @@ class ArqSender:
         # Direct calendar-queue access for the per-copy timeout push —
         # inlined sim.schedule minus the call overhead (timeouts are always
         # positive). Both aliases stay valid: the kernel mutates its heap
-        # strictly in place.
-        self._sim_heap = ctx.sim._heap
-        self._sim_seq = ctx.sim._seq
-        self._on_event_cancelled = ctx.sim._on_event_cancelled
+        # strictly in place. A portable Clock (no calendar_kernel — e.g.
+        # the live wall clock) routes timeouts through its schedule() API
+        # instead; the handle only needs .seq/.cancel() (TimerHandle).
+        kernel = getattr(ctx.sim, "calendar_kernel", None)
+        if kernel is not None:
+            self._sim_heap, self._sim_seq, self._on_event_cancelled = kernel()
+        else:
+            self._sim_heap = None
+            self._sim_seq = None
+            self._on_event_cancelled = None
         self._outstanding: Dict[int, _Outstanding] = {}
         # Latent-timer elision (opt-in, see enable_timer_elision): per
         # packed direction id, the exact (d_fwd, d_rev) delay pair when
@@ -207,6 +222,10 @@ class ArqSender:
         schedule bit-identical either way. Lost ACKs materialise the timer
         via the network's ACK-loss observer hook.
         """
+        if self._sim_heap is None:
+            # Portable Clock: elision reserves raw kernel heap keys, which
+            # only exist on the calendar kernel.
+            return
         network = self.ctx.network
         register = getattr(network, "register_ack_loss_observer", None)
         if register is None or getattr(network, "ack_round_trip", None) is None:
@@ -317,10 +336,12 @@ class ArqSender:
                         pair = rt
                 info = (timeout, pair)
                 self._dir_info[key] = info
-            time = sim._now + info[0]
+            delay = info[0]
+            time = sim._now + delay
             pair = info[1]
         else:
-            time = sim._now + self._timeout(src, dst)
+            delay = self._timeout(src, dst)
+            time = sim._now + delay
             pair = False
             if outcome and self._elide_timers:
                 pair = self._rt_cache.get(key)
@@ -329,6 +350,19 @@ class ArqSender:
                     if pair is None:
                         pair = False
                     self._rt_cache[key] = pair
+        if self._sim_heap is None:
+            # Portable Clock path (no calendar kernel): the timeout goes
+            # through the clock's schedule() API and the returned handle
+            # stands in for the kernel Event — handle_ack/_on_timeout only
+            # touch .seq and .cancel(). Latent elision is a kernel-only
+            # optimisation (it reserves raw heap keys), so the timer is
+            # always eager here.
+            entry.latent_seq = -1
+            entry.event = event = sim.schedule(delay, self._on_timeout, entry)
+            probe = _probes.on_timer_started
+            if probe is not None:
+                probe(event.seq, time, entry.frame)
+            return
         seq = next(self._sim_seq)
         if (
             outcome

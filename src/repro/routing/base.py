@@ -10,6 +10,15 @@ subscriber delivery — and delegates the forwarding decision here.
 :class:`RuntimeContext` bundles the substrate a strategy works against, and
 :class:`ProtocolParams` the paper's protocol knobs (``m``, the per-link
 transmission budget of §III-A, and the ACK-timeout factor).
+
+``RuntimeContext.sim`` and ``RuntimeContext.network`` are duck-typed
+against the :mod:`repro.substrate` protocols rather than concrete
+classes: ``sim`` is any Clock (``_now`` readable as an attribute,
+``schedule``/``schedule_fire``), ``network`` any Transport
+(``attach``/``detach``/``transmit`` and optionally the
+``send_data``/``send_ack`` fast paths). The discrete-event kernel and the
+live asyncio stack both satisfy them, so strategies never branch on the
+substrate.
 """
 
 from __future__ import annotations

@@ -9,6 +9,14 @@ surfaces, which keeps both operations O(log n).
 The engine is single-threaded and deterministic: two runs with the same
 schedule of callbacks and the same random seeds produce identical traces.
 
+The simulator is the event-time implementation of the substrate
+:class:`~repro.substrate.Clock` contract (``now``/``schedule``/
+``schedule_fire`` plus the hot-path ``_now`` attribute); the live runtime
+substitutes :class:`~repro.live.clock.WallClock` behind the same surface.
+Trusted hot paths additionally inline the calendar queue via
+:meth:`Simulator.calendar_kernel` — a capability only this kernel offers,
+which is how the stack distinguishes the two substrates.
+
 Fast path
 ---------
 
@@ -181,6 +189,22 @@ class Simulator:
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    def calendar_kernel(self) -> Tuple[List[tuple], Any, Callable[[], None]]:
+        """Expose the raw calendar-queue internals for trusted hot paths.
+
+        Returns ``(heap, seq_counter, on_event_cancelled)``. Callers push
+        C-comparable ``(time, seq, Event)`` / ``(time, seq, callback,
+        args)`` entries directly (incrementing :attr:`_live` per push),
+        skipping the :meth:`schedule` call overhead — the ARQ timeout push
+        and the overlay's delivery push live on this. All three aliases
+        stay valid for the simulator's lifetime: the kernel mutates its
+        heap strictly in place (compaction included) and never rebinds the
+        sequence counter. Portable :class:`~repro.substrate.Clock`
+        implementations do not offer this method; the absence is the
+        signal that sends the ARQ layer down its portable scheduling path.
+        """
+        return self._heap, self._seq, self._on_event_cancelled
 
     @property
     def pending_events(self) -> int:

@@ -1,0 +1,138 @@
+"""The substrate contract: what the broker stack needs from its host.
+
+The DCRD protocol logic — :class:`~repro.pubsub.broker.BrokerRuntime`,
+:class:`~repro.routing.arq.ArqSender`, the forwarding state machines in
+:mod:`repro.core.forwarding` — is specified independently of *where* it
+runs. This module names the two seams that make that true:
+
+* :class:`Clock` — a source of time plus cancellable timers. The
+  discrete-event kernel (:class:`~repro.sim.engine.Simulator`) advances
+  virtual time by popping a calendar queue; the live runtime
+  (:class:`~repro.live.clock.WallClock`) reads the asyncio event loop's
+  wall clock and arms real timers.
+* :class:`Transport` — frame delivery between adjacent brokers. The
+  simulated data plane (:class:`~repro.overlay.links.OverlayNetwork`)
+  models loss and propagation on a calendar queue; the live transport
+  (:class:`~repro.live.transport.LiveTransport`) moves length-prefixed
+  frames over asyncio TCP sockets.
+
+Both seams are *structural* (duck-typed): the hot paths predate the
+protocols and bind concrete attributes directly, so the sim
+implementations are untouched — zero behavioural drift, pinned by the
+32-cell fingerprint matrix in
+``tests/integration/test_fast_path_equivalence.py``. Two conventions make
+the duck typing work:
+
+1. **``_now`` is part of the Clock contract.** The data-plane hot paths
+   read ``ctx.sim._now`` (one attribute load instead of a property call).
+   A non-kernel clock must expose ``_now`` — the live clock aliases it to
+   the ``now`` property.
+2. **Kernel internals are opt-in.** Trusted hot paths (the ARQ timer
+   push, the overlay's delivery push) inline the kernel's heap access via
+   :meth:`~repro.sim.engine.Simulator.calendar_kernel`. A clock that does
+   not offer ``calendar_kernel`` gets the portable
+   ``schedule()``/``cancel()`` path instead; timer handles then only need
+   ``seq``, ``time`` and ``cancel()`` (:class:`TimerHandle`).
+
+The differential conformance suite
+(``tests/integration/test_live_conformance.py``) is the executable form of
+this contract: the same scripted scenarios run on both substrates and must
+agree on delivered-pair sets, post-dedup at-most-once delivery, and ACK
+timer settlement, with the sanitizer clean in both modes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """A cancellable scheduled callback.
+
+    ``seq`` is a token unique within the owning clock — the probe bus uses
+    it to correlate ``timer_started``/``timer_cancelled``/``timer_fired``
+    events; ``time`` is the absolute (clock-local) deadline.
+    """
+
+    seq: int
+    time: float
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing. Idempotent."""
+        ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Time plus cancellable timers — the substrate's scheduling seam.
+
+    Implementations: :class:`~repro.sim.engine.Simulator` (virtual
+    event time) and :class:`~repro.live.clock.WallClock` (asyncio wall
+    time). ``_now`` must stay readable as a plain attribute access (see
+    module docstring); kernel implementations additionally offer
+    ``calendar_kernel()`` for the inlined hot paths.
+    """
+
+    @property
+    def now(self) -> float:
+        """Current time in seconds (virtual or since runtime start)."""
+        ...
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> TimerHandle:
+        """Run ``callback(*args)`` after ``delay`` seconds; returns a handle."""
+        ...
+
+    def schedule_fire(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellation handle."""
+        ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Frame delivery between adjacent brokers — the substrate's data seam.
+
+    Implementations: :class:`~repro.overlay.links.OverlayNetwork`
+    (simulated links) and :class:`~repro.live.transport.LiveTransport`
+    (asyncio TCP). Beyond this minimal surface, transports may offer the
+    optional fast-path hooks the stack probes with ``getattr``:
+    ``send_data``/``send_ack`` (kind-specialised sends),
+    ``attach_ack`` (dedicated ACK sinks),
+    ``register_ack_loss_observer``/``ack_round_trip`` (latent ARQ timer
+    elision — kernel transports only), and
+    ``link_success_probability`` (the link monitor's analytic estimate).
+    """
+
+    def attach(self, node: int, handler: Callable[[int, Any], None]) -> None:
+        """Register ``handler(sender, frame)`` as *node*'s frame sink."""
+        ...
+
+    def detach(self, node: int) -> None:
+        """Remove *node*'s handlers; frames to it are silently dropped."""
+        ...
+
+    def transmit(self, src: int, dst: int, frame: Any, kind: Any) -> Any:
+        """Send *frame* from *src* to the adjacent *dst*."""
+        ...
+
+
+def substrate_of(clock: Any) -> str:
+    """Classify *clock* for diagnostics: ``"kernel"`` or ``"portable"``.
+
+    The broker stack itself never branches on this — hot paths probe for
+    ``calendar_kernel`` directly — but launchers and tests use it to label
+    runs.
+    """
+    return "kernel" if hasattr(clock, "calendar_kernel") else "portable"
+
+
+__all__: Iterable[str] = (
+    "Clock",
+    "TimerHandle",
+    "Transport",
+    "substrate_of",
+)

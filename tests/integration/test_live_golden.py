@@ -1,0 +1,131 @@
+"""Golden pin of the live diamond-failover run, time-quantized.
+
+The wall-clock twin of ``test_golden_trace.py``: the same diamond world
+(fast route 0-1-3 dead, §III-D bounce, redelivery over 0-2-3) runs over
+real asyncio TCP sockets with imposed link delays of 0.1 s / 0.2 s, and
+its normalized frame trace is pinned as JSONL in
+``data/live_golden_trace.jsonl``.
+
+Wall-clock runs cannot be pinned byte-exact, so the normalization makes
+the trace deterministic instead:
+
+* timestamps are quantized to 0.1 s buckets with *round-to-nearest* —
+  every event in this world lands **on** a bucket multiple (link delays
+  0.1/0.2, ACK timeout 3·0.1 + 0.1 = 0.4), so scheduler jitter of up to
+  ±50 ms per event cannot move an event across a bucket boundary;
+* events are reduced to ``{"q", "kind", "node", "peer", "msg",
+  "transfer"}`` and sorted by that tuple — causal order within a bucket
+  is not pinned, arrival order across sockets is not pinned, but the
+  *set* of lifecycle events per bucket is;
+* message/transfer ids are reproducible because the run starts from
+  ``reset_message_ids()`` and the scenario is a single causal chain.
+
+Regenerate after a reviewed behavioural change with::
+
+    PYTHONPATH=src:. python -c "
+    from tests.integration.test_live_golden import write_live_golden; write_live_golden()"
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import trace as _trace
+from repro.live.faults import dead_link_rules
+from repro.live.runtime import run_live_scenario
+from repro.live.scenarios import Scenario
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "live_golden_trace.jsonl"
+
+#: Quantization bucket width; all imposed delays are multiples of it.
+QUANTUM = 0.1
+
+#: Frame-lifecycle kinds the pin covers (timer/bookkeeping families have
+#: substrate-specific tokens and are exercised elsewhere).
+PINNED_KINDS = frozenset(
+    {
+        "publish",
+        "transmit",
+        "link_drop",
+        "arrive",
+        "dedup_discard",
+        "deliver",
+        "ack",
+        "ack_timeout",
+        "failover",
+        "bounce",
+    }
+)
+
+
+def golden_scenario() -> Scenario:
+    """The diamond failover world with bucket-aligned timings."""
+    return Scenario(
+        name="live_golden",
+        edges=((0, 1, 0.1), (1, 3, 0.1), (0, 2, 0.2), (2, 3, 0.2)),
+        publisher=0,
+        subscribers=((3, 10.0),),
+        rules=lambda: dead_link_rules(1, 3),
+        publishes=1,
+        m=1,
+        ack_timeout_factor=3.0,
+        ack_timeout_slack=0.1,  # timeout = 3*0.1 + 0.1 = 0.4 = 4 buckets
+    )
+
+
+def normalize(tracer: _trace.FrameTracer):
+    """Reduce a live trace to its deterministic, quantized skeleton."""
+    rows = []
+    for event in tracer.events():
+        if event.kind not in PINNED_KINDS:
+            continue
+        rows.append(
+            {
+                "q": int(round(event.t / QUANTUM)),
+                "kind": event.kind,
+                "node": -1 if event.node is None else event.node,
+                "peer": -1 if event.peer is None else event.peer,
+                "msg": -1 if event.msg is None else event.msg,
+                "transfer": -1 if event.transfer is None else event.transfer,
+            }
+        )
+    rows.sort(
+        key=lambda r: (r["q"], r["kind"], r["node"], r["peer"], r["msg"], r["transfer"])
+    )
+    return rows
+
+
+def traced_live_run():
+    tracer = _trace.FrameTracer()
+    result = run_live_scenario(golden_scenario(), seed=0, sanitize=True, tracer=tracer)
+    return result, tracer
+
+
+def render(rows) -> str:
+    return "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows)
+
+
+def write_live_golden() -> None:  # pragma: no cover - regeneration helper
+    _, tracer = traced_live_run()
+    GOLDEN_PATH.write_text(render(normalize(tracer)), encoding="utf-8")
+
+
+def test_live_trace_matches_pinned_quantized_jsonl():
+    result, tracer = traced_live_run()
+    assert result["violations"] == 0
+    assert render(normalize(tracer)) == GOLDEN_PATH.read_text(encoding="utf-8")
+
+
+def test_live_golden_exercises_the_full_recovery_sequence():
+    result, tracer = traced_live_run()
+    kinds = [e.kind for e in tracer.events()]
+    # The §III-D chain: drop on the dead link, budget exhausted, failover,
+    # bounce upstream, redelivery over the slow branch.
+    for kind in ("link_drop", "ack_timeout", "failover", "bounce", "deliver"):
+        assert kind in kinds, kind
+    assert result["delivered"] == frozenset({(1, 3)})
+    # The delivery happens ~1.0 s in (0.1 publish hop + 0.4 timeout +
+    # bounce and slow-branch hops); quantization must put it at bucket 10.
+    deliver = next(e for e in tracer.events() if e.kind == "deliver")
+    assert int(round(deliver.t / QUANTUM)) == 10

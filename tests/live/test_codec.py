@@ -1,0 +1,122 @@
+"""Wire-codec tests: canonical round-trips and strict rejection."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.live.codec import LENGTH_PREFIX, CodecError, FrameCodec
+from repro.pubsub.messages import AckFrame, PacketFrame
+
+
+def make_packet(**overrides) -> PacketFrame:
+    fields = dict(
+        msg_id=7,
+        transfer_id=42,
+        topic=3,
+        origin=0,
+        publish_time=1.25,
+        destinations=frozenset({2, 5, 1}),
+        routing_path=(0, 4),
+        source_route=(),
+        fragment_index=-1,
+        fragments_needed=0,
+        size=1.0,
+        priority=2.5,
+    )
+    fields.update(overrides)
+    return PacketFrame(**fields)
+
+
+class TestRoundTrip:
+    def test_packet_round_trips(self):
+        codec = FrameCodec()
+        frame = make_packet()
+        sender, decoded = codec.decode_payload(codec.encode_payload(4, frame))
+        assert sender == 4
+        assert decoded.msg_id == frame.msg_id
+        assert decoded.transfer_id == frame.transfer_id
+        assert decoded.topic == frame.topic
+        assert decoded.origin == frame.origin
+        assert decoded.publish_time == frame.publish_time
+        assert decoded.destinations == frame.destinations
+        assert decoded.routing_path == frame.routing_path
+        assert decoded.source_route == frame.source_route
+        assert decoded.fragment_index == frame.fragment_index
+        assert decoded.fragments_needed == frame.fragments_needed
+        assert decoded.size == frame.size
+        assert decoded.priority == frame.priority
+
+    def test_ack_round_trips(self):
+        codec = FrameCodec()
+        ack = AckFrame(msg_id=9, acker=3, transfer_id=77)
+        sender, decoded = codec.decode_payload(codec.encode_payload(3, ack))
+        assert sender == 3
+        assert isinstance(decoded, AckFrame)
+        assert (decoded.msg_id, decoded.acker, decoded.transfer_id) == (9, 3, 77)
+
+    def test_infinite_priority_survives(self):
+        codec = FrameCodec()
+        frame = make_packet(priority=math.inf)
+        _, decoded = codec.decode_payload(codec.encode_payload(0, frame))
+        assert decoded.priority == math.inf
+
+    def test_encoding_is_canonical(self):
+        """Same frame -> same bytes, independent of set iteration order."""
+        codec = FrameCodec()
+        a = make_packet(destinations=frozenset({5, 1, 2}))
+        b = make_packet(destinations=frozenset({2, 5, 1}))
+        assert codec.encode_payload(0, a) == codec.encode_payload(0, b)
+
+    def test_full_message_layout(self):
+        codec = FrameCodec()
+        ack = AckFrame(msg_id=1, acker=2, transfer_id=3)
+        message = codec.encode(2, ack)
+        length = codec.split_prefix(message[:4])
+        payload = message[4:]
+        assert length == len(payload)
+        sender, decoded = codec.decode_payload(payload)
+        assert sender == 2 and decoded.transfer_id == 3
+
+
+class TestRejection:
+    def test_unknown_frame_type_rejected(self):
+        with pytest.raises(CodecError, match="cannot encode"):
+            FrameCodec().encode_payload(0, object())
+
+    def test_oversized_encode_rejected(self):
+        codec = FrameCodec(max_frame_bytes=16)
+        with pytest.raises(CodecError, match="exceeds"):
+            codec.encode_payload(0, make_packet())
+
+    def test_oversized_prefix_rejected(self):
+        codec = FrameCodec(max_frame_bytes=64)
+        with pytest.raises(CodecError, match="length prefix"):
+            codec.split_prefix(LENGTH_PREFIX.pack(65))
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(CodecError, match="malformed"):
+            FrameCodec().decode_payload(b"\xff\x00 not json")
+
+    def test_unknown_kind_rejected(self):
+        payload = json.dumps({"s": 0, "k": "x"}).encode()
+        with pytest.raises(CodecError, match="unknown frame kind"):
+            FrameCodec().decode_payload(payload)
+
+    def test_missing_field_rejected(self):
+        payload = json.dumps({"s": 0, "k": "a", "m": 1}).encode()
+        with pytest.raises(CodecError, match="malformed"):
+            FrameCodec().decode_payload(payload)
+
+    def test_non_int_sender_rejected(self):
+        payload = json.dumps({"s": "zero", "k": "a", "m": 1, "n": 2, "t": 3}).encode()
+        with pytest.raises(CodecError):
+            FrameCodec().decode_payload(payload)
+
+    def test_zero_frame_limit_rejected(self):
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            FrameCodec(max_frame_bytes=0)

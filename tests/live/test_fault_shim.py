@@ -1,0 +1,182 @@
+"""Fault-shim matrix: per-seed determinism and byte transparency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.live.faults import (
+    ACK,
+    DATA,
+    DropRule,
+    FaultInjector,
+    ack_loss_rules,
+    dead_link_rules,
+    kind_label,
+    link_filter,
+)
+from repro.overlay.links import FrameKind
+from repro.util.errors import ConfigurationError
+
+
+def replay(shim: FaultInjector, frames) -> list:
+    """Feed a frame schedule through the shim and record every plan."""
+    return [shim.plan(src, dst, kind, payload) for src, dst, kind, payload in frames]
+
+
+def schedule(n: int = 40):
+    """A deterministic mixed DATA/ACK frame schedule on two directions."""
+    frames = []
+    for i in range(n):
+        src, dst = ((0, 1), (1, 0))[i % 2]
+        kind = DATA if i % 3 else ACK
+        frames.append((src, dst, kind, f"payload-{i}".encode()))
+    return frames
+
+
+class TestTransparency:
+    def test_inactive_shim_is_byte_transparent(self):
+        shim = FaultInjector(seed=123)
+        assert shim.transparent
+        payload = b"\x00\x01frame"
+        plan = shim.plan(0, 1, DATA, payload)
+        assert len(plan) == 1
+        extra, out = plan[0]
+        assert extra == 0.0
+        assert out is payload  # the identical object, not a copy
+
+    def test_inactive_shim_consumes_no_randomness(self):
+        shim = FaultInjector(seed=55)
+        state_before = shim._rng.getstate()
+        replay(shim, schedule())
+        assert shim._rng.getstate() == state_before
+        assert shim.dropped == shim.duplicated == shim.reordered == 0
+
+    def test_delay_only_shim_delays_every_frame(self):
+        shim = FaultInjector(seed=1, delay=0.05)
+        for plan in replay(shim, schedule(10)):
+            assert len(plan) == 1
+            assert plan[0][0] == pytest.approx(0.05)
+        assert shim.delayed == 10
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"drop": 0.3},
+            {"duplicate": 0.4},
+            {"reorder": 0.5},
+            {"delay": 0.02, "delay_jitter": 0.01},
+            {"drop": 0.2, "duplicate": 0.2, "reorder": 0.2, "delay": 0.01},
+        ],
+        ids=["drop", "duplicate", "reorder", "delay", "mixed"],
+    )
+    def test_same_seed_same_plans(self, knobs):
+        frames = schedule()
+        plans_a = replay(FaultInjector(seed=77, **knobs), frames)
+        plans_b = replay(FaultInjector(seed=77, **knobs), frames)
+        assert plans_a == plans_b
+
+    def test_different_seeds_diverge(self):
+        frames = schedule(200)
+        plans_a = replay(FaultInjector(seed=1, drop=0.5), frames)
+        plans_b = replay(FaultInjector(seed=2, drop=0.5), frames)
+        assert plans_a != plans_b
+
+    def test_drop_rate_is_respected(self):
+        shim = FaultInjector(seed=9, drop=0.5)
+        replay(shim, schedule(400))
+        assert 120 <= shim.dropped <= 280  # ~200 expected
+
+    def test_duplicate_emits_two_copies(self):
+        shim = FaultInjector(seed=4, duplicate=1.0)
+        payload = b"dup-me"
+        plan = shim.plan(0, 1, DATA, payload)
+        assert [p for _, p in plan] == [payload, payload]
+        assert shim.duplicated == 1
+
+    def test_reorder_swaps_adjacent_frames(self):
+        shim = FaultInjector(seed=0, reorder=1.0)
+        first = shim.plan(0, 1, DATA, b"A")
+        assert first == []  # held back
+        second = shim.plan(0, 1, DATA, b"B")
+        assert [p for _, p in second] == [b"B", b"A"]  # adjacent swap
+        assert shim.reordered == 1
+
+    def test_reorder_hold_is_per_direction(self):
+        shim = FaultInjector(seed=0, reorder=1.0)
+        assert shim.plan(0, 1, DATA, b"A") == []
+        assert shim.plan(1, 0, DATA, b"X") == []  # other direction: own slot
+        assert [p for _, p in shim.plan(0, 1, DATA, b"B")] == [b"B", b"A"]
+
+    def test_flush_releases_held_frames(self):
+        shim = FaultInjector(seed=0, reorder=1.0)
+        shim.plan(0, 1, DATA, b"held")
+        released = shim.flush()
+        assert [p for _, p in released] == [b"held"]
+        assert shim.flush() == []
+
+
+class TestScriptedRules:
+    def test_dead_link_drops_both_directions_and_kinds(self):
+        shim = FaultInjector(rules=dead_link_rules(0, 1))
+        assert shim.plan(0, 1, DATA, b"d") == []
+        assert shim.plan(1, 0, ACK, b"a") == []
+        assert shim.plan(0, 2, DATA, b"other") != []
+        assert shim.dropped == 2
+
+    def test_ack_loss_is_kind_and_direction_scoped(self):
+        shim = FaultInjector(rules=ack_loss_rules(1, 0))
+        assert shim.plan(1, 0, ACK, b"a") == []
+        assert shim.plan(1, 0, DATA, b"d") != []  # DATA passes
+        assert shim.plan(0, 1, ACK, b"a") != []  # reverse direction passes
+
+    def test_count_bounded_rule_exhausts(self):
+        shim = FaultInjector(rules=(DropRule(src=0, dst=1, kind=DATA, count=2),))
+        assert shim.plan(0, 1, DATA, b"1") == []
+        assert shim.plan(0, 1, DATA, b"2") == []
+        assert shim.plan(0, 1, DATA, b"3") != []  # budget exhausted
+        assert shim.dropped == 2
+
+    def test_scripted_rules_consume_no_randomness(self):
+        shim = FaultInjector(seed=3, rules=dead_link_rules(0, 1))
+        state = shim._rng.getstate()
+        replay(shim, schedule())
+        assert shim._rng.getstate() == state
+
+    def test_link_filter_matches_shim_decisions(self):
+        """The sim-side adapter drops exactly what the live shim drops."""
+        frames = [
+            (0, 1, FrameKind.DATA),
+            (1, 0, FrameKind.ACK),
+            (0, 1, FrameKind.ACK),
+            (2, 1, FrameKind.DATA),
+        ]
+        shim = FaultInjector(rules=ack_loss_rules(1, 0))
+        fault = link_filter(ack_loss_rules(1, 0))
+        for src, dst, kind in frames:
+            live_dropped = shim.plan(src, dst, kind_label(kind), b"x") == []
+            sim_dropped = fault(src, dst, kind, object())
+            assert live_dropped == sim_dropped
+
+    def test_kind_label_mapping(self):
+        assert kind_label(FrameKind.DATA) == DATA
+        assert kind_label(FrameKind.ACK) == ACK
+
+
+class TestValidation:
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(drop=1.5)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(delay=-0.1)
+
+    def test_bad_rule_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DropRule(kind="probe")
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DropRule(count=0)
