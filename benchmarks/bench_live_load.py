@@ -1,0 +1,122 @@
+"""Live load test: publish-rate sweeps through a multi-process fleet.
+
+The first benchmark that measures the *real* deployment: the clean
+6-node ring world runs on six broker OS processes (one per node,
+coordinated by :mod:`repro.live.cluster`) at increasing publish rates,
+and the end-to-end delivery-delay distribution observed on real TCP
+sockets is compared against the discrete-event simulator's prediction
+for the identical world.
+
+The assertion is a tolerance band, not equality: the simulator's delays
+are pure link propagation (hops x imposed delay), while the live fleet
+adds scheduler wakeups, socket writes and JSON framing on top. The band
+says the overhead stays bounded — every delivery quantile of the live
+CDF sits within ``TOLERANCE`` seconds above the simulated quantile, and
+never meaningfully below it (the fleet cannot beat physics).
+
+Output table: ``benchmarks/output/live_load.txt``.
+"""
+
+import dataclasses
+import os
+
+from repro.live.cluster import run_cluster_scenario
+from repro.live.scenarios import make_scenario, run_sim_scenario
+
+from _common import save_report
+
+#: One broker OS process per ring node.
+PROCESSES = 6
+
+#: (publish rate in msg/s, messages per run) sweep points.
+RATES = ((10.0, 12), (25.0, 12), (50.0, 12))
+
+#: Live quantile may exceed the simulated one by at most this much.
+TOLERANCE = 0.25
+
+#: Live quantile may undercut the simulated one by at most this much
+#: (clock granularity; real sockets cannot beat modelled propagation).
+UNDERCUT = 0.02
+
+QUANTILES = (0.10, 0.25, 0.50, 0.75, 0.90, 0.99)
+
+
+def _quantile(samples, q):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def load_scenario(rate: float, publishes: int):
+    """The clean ring world re-parameterized to one sweep point."""
+    return dataclasses.replace(
+        make_scenario("clean"),
+        name=f"load_{rate:g}hz",
+        publishes=publishes,
+        publish_interval=1.0 / rate,
+    )
+
+
+def sweep():
+    points = []
+    for rate, publishes in RATES:
+        sim = run_sim_scenario(load_scenario(rate, publishes), seed=0, sanitize=True)
+        live = run_cluster_scenario(
+            load_scenario(rate, publishes),
+            seed=0,
+            sanitize=True,
+            processes=int(os.environ.get("REPRO_BENCH_LIVE_PROCESSES", PROCESSES)),
+        )
+        points.append((rate, publishes, sim, live))
+    return points
+
+
+def render(points) -> str:
+    lines = [
+        "Live load test: publish-rate sweep, %d broker processes" % PROCESSES,
+        "world: clean 6-node ring, subscribers {2, 3, 4}, m=2",
+        "delay CDF quantiles (seconds), live fleet vs simulator prediction",
+        "",
+        "%-10s %-6s %-10s %-6s " % ("rate", "msgs", "substrate", "pairs")
+        + " ".join("p%02d" % int(q * 100) for q in QUANTILES),
+    ]
+    for rate, publishes, sim, live in points:
+        for label, result in (("sim", sim), ("live", live)):
+            delays = [delay for _, _, delay in result["delays"]]
+            lines.append(
+                "%-10s %-6d %-10s %-6d " % ("%g/s" % rate, publishes, label, len(delays))
+                + " ".join("%.3f" % _quantile(delays, q) for q in QUANTILES)
+            )
+        sim_delays = [d for _, _, d in sim["delays"]]
+        live_delays = [d for _, _, d in live["delays"]]
+        worst = max(
+            _quantile(live_delays, q) - _quantile(sim_delays, q) for q in QUANTILES
+        )
+        lines.append(
+            "%-10s %-6s %-10s %-6s worst quantile overhead: %+.3f s"
+            % ("", "", "delta", "", worst)
+        )
+    lines.append("")
+    lines.append("tolerance band: sim_q - %.2f <= live_q <= sim_q + %.2f"
+                 % (UNDERCUT, TOLERANCE))
+    return "\n".join(lines)
+
+
+def test_live_load(benchmark):
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_report("live_load", render(points))
+    for rate, publishes, sim, live in points:
+        # Full delivery and clean invariants at every rate.
+        assert len(live["delivered"]) == live["expected"] == publishes * 3, rate
+        assert live["delivered"] == sim["delivered"], rate
+        assert live["violations"] == 0, rate
+        assert live["conservation"]["leaked"] == 0, rate
+        assert live["timers_started"] == live["timers_settled"], rate
+        # The tolerance band, quantile by quantile.
+        sim_delays = [d for _, _, d in sim["delays"]]
+        live_delays = [d for _, _, d in live["delays"]]
+        assert len(live_delays) == len(sim_delays), rate
+        for q in QUANTILES:
+            sim_q = _quantile(sim_delays, q)
+            live_q = _quantile(live_delays, q)
+            assert sim_q - UNDERCUT <= live_q <= sim_q + TOLERANCE, (rate, q)

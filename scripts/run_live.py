@@ -9,11 +9,18 @@ the discrete-event kernel and the two delivered-pair sets are compared —
 the one-shot command-line version of
 ``tests/integration/test_live_conformance.py``.
 
+With ``--processes N`` the scenario instead runs on the multi-process
+substrate: N broker processes are spawned (one ``repro.live.broker``
+partition each), coordinated over a control channel, and harvested into
+the same comparable shape — the CLI twin of
+``tests/integration/test_multiproc_conformance.py``.
+
 Examples::
 
     PYTHONPATH=src python scripts/run_live.py failover_bounce
     PYTHONPATH=src python scripts/run_live.py ack_loss --seed 7 --differential
     PYTHONPATH=src python scripts/run_live.py clean --no-sanitize --json
+    PYTHONPATH=src python scripts/run_live.py link_loss --processes 3 --differential
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import argparse
 import json
 import sys
 
+from repro.live.cluster import run_cluster_scenario
 from repro.live.runtime import run_live_scenario
 from repro.live.scenarios import SCENARIO_KINDS, make_scenario, run_sim_scenario
 
@@ -50,13 +58,31 @@ def main(argv=None) -> int:
         help="run without the invariant sanitizer attached",
     )
     parser.add_argument("--json", action="store_true", help="emit raw JSON")
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run N broker OS processes (multi-process live mode) "
+        "instead of the single-process runtime",
+    )
     args = parser.parse_args(argv)
     sanitize = not args.no_sanitize
-    live = run_live_scenario(make_scenario(args.scenario), args.seed, sanitize)
+    if args.processes is not None:
+        live = run_cluster_scenario(
+            make_scenario(args.scenario),
+            args.seed,
+            sanitize,
+            processes=args.processes,
+        )
+        mode = f"multiproc[{args.processes}]"
+    else:
+        live = run_live_scenario(make_scenario(args.scenario), args.seed, sanitize)
+        mode = "live"
     if args.json:
         print(json.dumps({"live": _render(live)}, indent=2, sort_keys=True))
     else:
-        print(f"live {args.scenario} (seed {args.seed}):")
+        print(f"{mode} {args.scenario} (seed {args.seed}):")
         print(
             f"  delivered {len(live['delivered'])}/{live['expected']} pairs, "
             f"{live['retransmissions']} retransmissions, "

@@ -15,10 +15,17 @@ discrete-event kernel, deployed over real loopback TCP:
 * :mod:`repro.live.scenarios` — scripted differential scenarios shared
   with the sim substrate;
 * :mod:`repro.live.runtime` — the live composition root
-  (:func:`run_live_scenario`).
+  (:func:`run_live_scenario`);
+* :mod:`repro.live.broker` — the standalone multi-process broker
+  entrypoint (``python -m repro.live.broker``) and its in-process
+  testable :class:`PartitionRuntime`;
+* :mod:`repro.live.cluster` — the multi-process coordinator
+  (:class:`LiveCluster`, :func:`run_cluster_scenario`).
 
 Equivalence with the sim substrate is pinned by
-``tests/integration/test_live_conformance.py``; see ``docs/LIVE_MODE.md``.
+``tests/integration/test_live_conformance.py`` (single process) and
+``tests/integration/test_multiproc_conformance.py`` (process fleet); see
+``docs/LIVE_MODE.md``.
 """
 
 from repro.live.config import LiveConfig

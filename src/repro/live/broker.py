@@ -1,0 +1,456 @@
+"""The standalone multi-process broker entrypoint.
+
+One OS process hosts one *partition* of the overlay — a subset of broker
+nodes sharing a :class:`~repro.live.transport.LiveTransport` — and is
+driven by the cluster coordinator (:mod:`repro.live.cluster`) over a
+newline-delimited-JSON TCP control channel::
+
+    python -m repro.live.broker --node-id 0 --node-id 3 \\
+        --peers addr.json --scenario scenario.json --control 127.0.0.1:9000
+
+The protocol stack inside a partition is byte-for-byte the stack of the
+single-process live runtime (:mod:`repro.live.runtime`): the same
+:class:`DcrdStrategy` + :class:`ArqSender` + :class:`BrokerRuntime` +
+analytic :class:`LinkMonitor` composition, the same probe/sanitizer
+install order — only the *deployment* differs. That is the claim the
+three-way conformance suite pins: sim, single-process live, and
+multi-process live must produce identical delivered-pair sets with zero
+changes to the protocol modules.
+
+Multi-process glue, all of it outside the protocol code:
+
+* **Transfer-id striping** — each copy's globally unique ``transfer_id``
+  is normally drawn from one process-wide counter; with many processes
+  the counters would collide. :func:`install_transfer_stripe` rebinds the
+  allocator to a disjoint range per partition (group id shifted past
+  :data:`TRANSFER_STRIPE_BITS`), without touching the protocol module:
+  both allocation sites read the module global at call time.
+* **Epoch-pinned clocks** — the coordinator's ``start`` command carries a
+  ``time.time()`` epoch; every partition pins its
+  :class:`~repro.live.clock.WallClock` to it, so frame timestamps,
+  delivery delays and trace events are comparable fleet-wide.
+* **Pre-registered expectations** — every partition registers *all*
+  expected ``(message, subscriber)`` pairs at start (with the scheduled
+  publish times), so deliveries and give-ups are recorded in whichever
+  process they happen; the coordinator merges by union.
+* **Partitioned sanitizer** — :class:`repro.sanity.Sanitizer` runs in
+  ``partitioned`` mode (remote transmissions legitimately arrive without
+  a local send record); timer settlement is checked locally, frame
+  conservation is re-proved over the merged fleet ledgers at the
+  coordinator.
+
+The control channel understands ``start``, ``status``, ``report`` and
+``shutdown``; see :mod:`repro.live.cluster` for the coordinator side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import itertools
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro import probes as _probes
+from repro import sanity as _sanity
+from repro import trace as _trace
+from repro.core.forwarding import DcrdStrategy
+from repro.live.clock import WallClock
+from repro.live.config import LiveConfig
+from repro.live.faults import FaultInjector
+from repro.live.scenarios import AcceptLedger, Scenario, scenario_from_dict
+from repro.live.transport import LiveTransport
+from repro.metrics.collector import MetricsCollector
+from repro.overlay.monitor import LinkMonitor
+from repro.pubsub import messages as _messages
+from repro.pubsub.broker import BrokerRuntime
+from repro.pubsub.messages import next_message_id, reset_message_ids
+from repro.routing.base import RuntimeContext
+from repro.sim.random import RandomStreams
+from repro.util.errors import ConfigurationError, SimulationError
+
+#: Transfer ids are striped per partition: the high bits carry the group
+#: id (``min(local_nodes) + 1``), the low 40 bits the local sequence.
+#: 2^40 copies per partition per run is far beyond any scenario.
+TRANSFER_STRIPE_BITS = 40
+
+
+def install_transfer_stripe(group: int) -> None:
+    """Move this process's transfer-id allocator to *group*'s stripe.
+
+    Rebinds ``repro.pubsub.messages._transfer_counter`` — the module
+    global both allocation sites read at call time — to count from
+    ``(group << TRANSFER_STRIPE_BITS) + 1``. Call after
+    :func:`~repro.pubsub.messages.reset_message_ids` (which resets the
+    counter to the unstriped range). Message ids are *not* striped: only
+    the publisher's process allocates them, starting at 1.
+    """
+    if group < 1:
+        raise ConfigurationError(f"transfer stripe group must be >= 1, got {group}")
+    _messages._transfer_counter = itertools.count(
+        (group << TRANSFER_STRIPE_BITS) + 1
+    )
+
+
+def split_transfer_id(transfer_id: int) -> Tuple[int, int]:
+    """Decompose a (possibly striped) transfer id into (group, local seq).
+
+    Single-process ids (group 0) pass through unchanged; the multi-process
+    golden pin uses this to normalize ids across deployments.
+    """
+    return divmod(transfer_id, 1 << TRANSFER_STRIPE_BITS)
+
+
+class PartitionRuntime:
+    """One partition of a live deployment: the hosted brokers + glue.
+
+    Composes the full protocol stack over a partitioned
+    :class:`LiveTransport` and owns the partition-local observability
+    (accept ledger, partitioned sanitizer, optional tracer). The class is
+    loop-agnostic and in-process testable: the cluster coordinator drives
+    it inside :func:`broker_main`, while the test suite runs two
+    instances on one loop to cover the partition seams under coverage.
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        seed: int,
+        local_nodes: Sequence[int],
+        config: Optional[LiveConfig] = None,
+        sanitize: bool = True,
+        trace: bool = False,
+        stripe_group: Optional[int] = None,
+        manage_observers: bool = True,
+    ) -> None:
+        self.scenario = scenario
+        self.seed = seed
+        self.local_nodes = frozenset(local_nodes)
+        if not self.local_nodes:
+            raise ConfigurationError("a partition must host at least one node")
+        self.config = config if config is not None else LiveConfig()
+        self.sanitize = sanitize
+        self.stripe_group = stripe_group
+        self.manage_observers = manage_observers
+        self.clock: Optional[WallClock] = None
+        self.transport: Optional[LiveTransport] = None
+        self.strategy: Optional[DcrdStrategy] = None
+        self.ctx: Optional[RuntimeContext] = None
+        self.sanitizer: Optional[_sanity.Sanitizer] = None
+        self.ledger = AcceptLedger()
+        self.tracer: Optional[_trace.FrameTracer] = (
+            _trace.FrameTracer() if trace else None
+        )
+        self.published = 0
+        self.done_publishing = not self.hosts_publisher
+        self._publish_task: Optional["asyncio.Task[None]"] = None
+        self._finished = False
+
+    @property
+    def hosts_publisher(self) -> bool:
+        return self.scenario.publisher in self.local_nodes
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Boot the partition: counters, transport, stack, observers."""
+        reset_message_ids()
+        if self.stripe_group is not None:
+            install_transfer_stripe(self.stripe_group)
+        loop = asyncio.get_running_loop()
+        self.clock = WallClock(loop)
+        topology = self.scenario.topology()
+        rules = self.scenario.rules()
+        fault = FaultInjector(seed=self.seed, rules=rules) if rules else None
+        self.transport = LiveTransport(
+            topology,
+            self.clock,
+            self.config,
+            fault,
+            local_nodes=self.local_nodes,
+        )
+        streams = RandomStreams(self.seed)
+        monitor = LinkMonitor(topology, self.transport, streams, mode="analytic")
+        self.ctx = RuntimeContext(
+            sim=self.clock,
+            topology=topology,
+            network=self.transport,
+            monitor=monitor,
+            workload=self.scenario.workload(),
+            metrics=MetricsCollector(),
+            streams=streams,
+            params=self.scenario.params(),
+        )
+        self.strategy = DcrdStrategy(self.ctx)
+        self.strategy.setup()
+        brokers = [
+            BrokerRuntime(node, self.ctx, self.strategy)
+            for node in sorted(self.local_nodes)
+        ]
+        assert brokers  # attach side effects; the list itself is not used
+        self.sanitizer = (
+            _sanity.Sanitizer(partitioned=True) if self.sanitize else None
+        )
+        if self.manage_observers:
+            # Same install order as both single-process runners.
+            _sanity.install(self.sanitizer)
+            _trace.install(self.tracer)
+            _probes.attach(self.ledger)
+        await self.transport.start()
+
+    def begin(self, epoch: float, publish_times: Sequence[float]) -> None:
+        """Apply the coordinator's ``start``: pin the clock, register all
+        expectations, and (in the publisher's partition) launch the
+        scripted publish loop."""
+        assert self.clock is not None and self.ctx is not None
+        self.clock.pin_epoch(epoch)
+        scenario = self.scenario
+        spec = self.ctx.workload.topic(scenario.topic)
+        deadlines = {sub.node: sub.deadline for sub in spec.subscriptions}
+        for i, publish_time in enumerate(publish_times):
+            self.ctx.metrics.expect(i + 1, scenario.topic, publish_time, deadlines)
+        if self.hosts_publisher:
+            self._publish_task = asyncio.ensure_future(
+                self._publish_loop(spec, publish_times)
+            )
+
+    async def _publish_loop(self, spec: Any, publish_times: Sequence[float]) -> None:
+        assert self.clock is not None and self.strategy is not None
+        for publish_time in publish_times:
+            wait = publish_time - self.clock.now
+            if wait > 0:
+                await asyncio.sleep(wait)
+            msg_id = next_message_id()
+            self.strategy.publish(spec, msg_id)
+            self.published += 1
+        self.done_publishing = True
+
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, Any]:
+        """The coordinator's quiescence-poll payload.
+
+        ``activity`` is a monotone sum of link sends and deliveries: the
+        fleet is quiescent when everyone is done publishing, no ARQ copy
+        is in flight anywhere, and the global activity sum is unchanged
+        across consecutive sweeps (a pending retransmission always keeps
+        its copy in flight, so the counters cannot be transiently flat).
+        """
+        assert self.strategy is not None and self.transport is not None
+        stats = self.transport.stats
+        activity = sum(stats._sent) + sum(stats._delivered)
+        return {
+            "nodes": sorted(self.local_nodes),
+            "in_flight": self.strategy.arq.in_flight,
+            "activity": activity,
+            "done_publishing": self.done_publishing,
+            "published": self.published,
+        }
+
+    def report(self, include_trace: bool = False) -> Dict[str, Any]:
+        """Reduce the partition to its mergeable end-of-run facts.
+
+        Runs the partition-local sanitizer checks first
+        (:meth:`~repro.sanity.Sanitizer.finish_partition`), which raise
+        on a violation; the fleet-wide conservation check runs at the
+        coordinator over the exported ledgers.
+        """
+        assert self.ctx is not None and self.strategy is not None
+        assert self.clock is not None
+        if self.sanitizer is not None and not self._finished:
+            self._finished = True
+            self.sanitizer.finish_partition(self.clock.now)
+        metrics = self.ctx.metrics
+        local = self.local_nodes
+        outcomes = metrics.outcomes()
+        result: Dict[str, Any] = {
+            "nodes": sorted(local),
+            "published": self.published,
+            "delivered": sorted(
+                [o.msg_id, o.subscriber] for o in outcomes if o.delivered
+            ),
+            "gave_up": sorted(
+                [o.msg_id, o.subscriber] for o in outcomes if o.gave_up
+            ),
+            "delays": sorted(
+                [o.msg_id, o.subscriber, o.delay]
+                for o in outcomes
+                if o.delay is not None
+            ),
+            "duplicates": metrics.duplicate_count(),
+            # The probe bus is process-global, so filter to the hosted
+            # nodes — a no-op in a real one-partition-per-process run,
+            # load-bearing when tests co-locate partitions on one loop.
+            "deliveries": sorted(
+                [msg, node] for msg, node in self.ledger.deliveries if node in local
+            ),
+            "accepts_max": max(
+                (
+                    count
+                    for (_, node), count in self.ledger.accepts.items()
+                    if node in local
+                ),
+                default=0,
+            ),
+            "retransmissions": self.strategy.arq.retransmissions,
+            "abandoned": self.strategy.abandoned,
+            "in_flight": self.strategy.arq.in_flight,
+        }
+        if self.sanitizer is not None:
+            perf = self.sanitizer.perf_counters()
+            result["timers_started"] = perf["sanity.timers_started"]
+            result["timers_settled"] = perf["sanity.timers_settled"]
+            result["violations"] = perf["sanity.violations"]
+            result["sanitizer"] = self.sanitizer.export_partition()
+        if include_trace and self.tracer is not None:
+            result["trace"] = [
+                [event.t, event.kind, event.msg, event.transfer, event.node, event.peer]
+                for event in self.tracer.events()
+            ]
+        return result
+
+    async def close(self) -> None:
+        """Tear down the publish task, observers, and transport."""
+        if self._publish_task is not None:
+            self._publish_task.cancel()
+            try:
+                await self._publish_task
+            except (asyncio.CancelledError, Exception):  # pragma: no cover
+                pass
+            self._publish_task = None
+        if self.manage_observers:
+            _sanity.uninstall()
+            _trace.uninstall()
+            _probes.detach(self.ledger)
+        if self.transport is not None and self.transport.started:
+            await self.transport.close()
+
+
+# ---------------------------------------------------------------------------
+# Control-channel session (the broker side of the cluster protocol)
+# ---------------------------------------------------------------------------
+async def _control_session(
+    runtime: PartitionRuntime,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    def send(message: Dict[str, Any]) -> None:
+        writer.write(json.dumps(message).encode("utf-8") + b"\n")
+
+    send({"type": "hello", "nodes": sorted(runtime.local_nodes)})
+    await writer.drain()
+    while True:
+        line = await reader.readline()
+        if not line:
+            return  # coordinator vanished: exit, the teardown is in main
+        command = json.loads(line)
+        kind = command.get("type")
+        if kind == "start":
+            runtime.begin(command["epoch"], command["publish_times"])
+            send({"type": "ok"})
+        elif kind == "status":
+            send({"type": "status", **runtime.status()})
+        elif kind == "report":
+            try:
+                report = runtime.report(
+                    include_trace=bool(command.get("trace", False))
+                )
+            except _sanity.InvariantViolation as violation:
+                send({"type": "error", "error": violation.report()})
+            else:
+                send({"type": "report", **report})
+        elif kind == "shutdown":
+            send({"type": "bye"})
+            await writer.drain()
+            return
+        else:
+            send({"type": "error", "error": f"unknown command {kind!r}"})
+        await writer.drain()
+
+
+async def broker_main(args: argparse.Namespace) -> int:
+    scenario = scenario_from_dict(
+        json.loads(Path(args.scenario).read_text(encoding="utf-8"))
+    )
+    peers_raw = json.loads(Path(args.peers).read_text(encoding="utf-8"))
+    peers = {int(node): (host, int(port)) for node, (host, port) in peers_raw.items()}
+    config = LiveConfig(
+        peers=peers,
+        connect_timeout=args.connect_timeout,
+        settle_timeout=args.settle_timeout,
+    )
+    nodes = sorted(set(args.node_id))
+    runtime = PartitionRuntime(
+        scenario,
+        args.seed,
+        nodes,
+        config,
+        sanitize=not args.no_sanitize,
+        trace=args.trace,
+        stripe_group=min(nodes) + 1,
+    )
+    control_host, _, control_port = args.control.rpartition(":")
+    await runtime.start()
+    try:
+        reader, writer = await asyncio.open_connection(
+            control_host, int(control_port)
+        )
+        try:
+            await _control_session(runtime, reader, writer)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+    finally:
+        await runtime.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.live.broker",
+        description="One partition of a multi-process live broker overlay.",
+    )
+    parser.add_argument(
+        "--node-id",
+        type=int,
+        action="append",
+        required=True,
+        help="broker node hosted by this process (repeatable)",
+    )
+    parser.add_argument(
+        "--peers",
+        required=True,
+        help="JSON file mapping node id -> [host, port] for every broker",
+    )
+    parser.add_argument(
+        "--scenario",
+        required=True,
+        help="JSON file with the serialized scenario (scenario_to_dict form)",
+    )
+    parser.add_argument(
+        "--control",
+        required=True,
+        help="host:port of the cluster coordinator's control server",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-sanitize", action="store_true")
+    parser.add_argument("--trace", action="store_true")
+    parser.add_argument("--connect-timeout", type=float, default=10.0)
+    parser.add_argument("--settle-timeout", type=float, default=10.0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(broker_main(args))
+    except (SimulationError, ConfigurationError) as exc:
+        print(f"broker failed: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entrypoint
+    sys.exit(main())

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from typing import Any, Callable, Optional
 
 from repro.util.errors import SimulationError
@@ -70,6 +71,18 @@ class WallClock:
     # attribute; aliasing the property keeps that contract without a
     # kernel-style mutable float.
     _now = now
+
+    def pin_epoch(self, epoch: float) -> None:
+        """Re-origin the clock so ``now`` reads ``time.time() - epoch``.
+
+        Multi-process deployments need one shared time base: every broker
+        process pins its clock to the coordinator's epoch (a ``time.time()``
+        stamp), so timestamps — frame publish times, delivery delays, trace
+        events — are comparable across processes to within the machine's
+        scheduler jitter. Must be called before any timers are armed; armed
+        ``loop.call_later`` handles keep their original (relative) delays.
+        """
+        self._origin = self._loop.time() - (time.time() - epoch)
 
     def schedule(
         self, delay: float, callback: Callable[..., None], *args: Any

@@ -63,6 +63,28 @@ class DropRule:
         if self.count is not None:
             require(self.count >= 1, f"DropRule count must be >= 1, got {self.count}")
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe spec of this rule (the drop budget state is excluded).
+
+        Serialization exists so a scripted scenario's adversary can travel
+        with its config — every broker process of a multi-process cluster
+        rebuilds the identical rules from the same serialized form, and
+        the sim side adapts the same dicts through :func:`link_filter`.
+        """
+        return {"src": self.src, "dst": self.dst, "kind": self.kind, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DropRule":
+        """Rebuild a fresh (zero-state) rule from :meth:`to_dict` output."""
+        unknown = set(data) - {"src", "dst", "kind", "count"}
+        require(not unknown, f"unknown DropRule field(s): {sorted(unknown)}")
+        return cls(
+            src=data.get("src"),
+            dst=data.get("dst"),
+            kind=data.get("kind"),
+            count=data.get("count"),
+        )
+
     def matches(self, src: int, dst: int, kind: str) -> bool:
         """Whether this rule wants to drop a (src, dst, kind) frame now."""
         if self.src is not None and src != self.src:

@@ -97,6 +97,74 @@ class Scenario:
         )
 
 
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """JSON-safe form of *scenario*, fault rules included.
+
+    The rules callable is evaluated once and serialized as
+    :meth:`~repro.live.faults.DropRule.to_dict` specs, so the identical
+    adversary travels with the config: every broker process of a cluster
+    (and the sim runner, through :func:`~repro.live.faults.link_filter`)
+    rebuilds the same fresh rules from the same dicts.
+    """
+    return {
+        "name": scenario.name,
+        "edges": [[u, v, delay] for u, v, delay in scenario.edges],
+        "publisher": scenario.publisher,
+        "subscribers": [[node, deadline] for node, deadline in scenario.subscribers],
+        "rules": [rule.to_dict() for rule in scenario.rules()],
+        "topic": scenario.topic,
+        "publishes": scenario.publishes,
+        "publish_interval": scenario.publish_interval,
+        "m": scenario.m,
+        "ack_timeout_factor": scenario.ack_timeout_factor,
+        "ack_timeout_slack": scenario.ack_timeout_slack,
+        "end_time": scenario.end_time,
+    }
+
+
+def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
+    """Rebuild a :class:`Scenario` from :func:`scenario_to_dict` output.
+
+    The deserialized ``rules`` callable returns *fresh* (zero-state)
+    :class:`DropRule` instances on every call, matching the construction
+    convention of the scripted scenarios.
+    """
+    known = {
+        "name",
+        "edges",
+        "publisher",
+        "subscribers",
+        "rules",
+        "topic",
+        "publishes",
+        "publish_interval",
+        "m",
+        "ack_timeout_factor",
+        "ack_timeout_slack",
+        "end_time",
+    }
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(f"unknown scenario field(s): {sorted(unknown)}")
+    rule_specs = tuple(dict(spec) for spec in data.get("rules", ()))
+    for spec in rule_specs:
+        DropRule.from_dict(spec)  # validate eagerly, not at first rules() call
+    return Scenario(
+        name=data["name"],
+        edges=tuple((u, v, delay) for u, v, delay in data["edges"]),
+        publisher=data["publisher"],
+        subscribers=tuple((node, deadline) for node, deadline in data["subscribers"]),
+        rules=lambda: tuple(DropRule.from_dict(spec) for spec in rule_specs),
+        topic=data.get("topic", 0),
+        publishes=data.get("publishes", 3),
+        publish_interval=data.get("publish_interval", 0.06),
+        m=data.get("m", 2),
+        ack_timeout_factor=data.get("ack_timeout_factor", 3.0),
+        ack_timeout_slack=data.get("ack_timeout_slack", 0.25),
+        end_time=data.get("end_time", 20.0),
+    )
+
+
 #: The 6-node ring + chords world of the clean/link-loss/ACK-loss kinds.
 #: The (0, 3) chord is the shortest 0 -> 3 route, so killing it (or its
 #: ACK direction) forces retransmission, failover and re-dispatch while
@@ -214,6 +282,13 @@ def harvest(
         for outcome in metrics.outcomes()
         if outcome.gave_up
     )
+    delays = tuple(
+        sorted(
+            (outcome.msg_id, outcome.subscriber, outcome.delay)
+            for outcome in metrics.outcomes()
+            if outcome.delay is not None
+        )
+    )
     result: Dict[str, Any] = {
         "scenario": scenario.name,
         "published": metrics.messages_published,
@@ -223,6 +298,7 @@ def harvest(
         "duplicates": metrics.duplicate_count(),
         "max_accepts_per_transfer": ledger.max_accepts_per_transfer,
         "deliveries": tuple(sorted(ledger.deliveries)),
+        "delays": delays,
         "retransmissions": strategy.arq.retransmissions,
         "abandoned": strategy.abandoned,
         "in_flight": strategy.arq.in_flight,

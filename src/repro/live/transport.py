@@ -19,6 +19,18 @@ connections need no handshake. When
 default) every write is postponed by the topology's propagation delay for
 its link, keeping live timings comparable to the simulated world.
 
+Partitioned (multi-process) deployment
+--------------------------------------
+With ``local_nodes`` set, the transport manages only that subset of the
+overlay: it binds servers for the local nodes at their configured
+``LiveConfig.peers`` addresses and dials one writer per *outgoing*
+directed edge (``u -> v`` with ``u`` local), retrying refused connections
+until ``connect_timeout`` so a fleet of broker processes can boot in any
+order. Incoming edges arrive on the local servers exactly as in the
+single-process case — the per-node server / per-directed-edge wiring
+never assumed co-location, which is what makes this mode a pure
+deployment change.
+
 Observability
 -------------
 The transport fires the same probe families as the sim network —
@@ -33,7 +45,7 @@ optional :class:`~repro.live.faults.FaultInjector` shim surface as
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro import probes as _probes
 from repro.live.codec import CodecError, FrameCodec
@@ -57,10 +69,20 @@ class LiveTransport:
         clock: Any,
         config: Optional[LiveConfig] = None,
         fault: Optional[FaultInjector] = None,
+        local_nodes: Optional[Iterable[int]] = None,
     ) -> None:
         self.topology = topology
         self.clock = clock
         self.config = config if config is not None else LiveConfig()
+        #: Nodes this transport instance hosts (``None`` = all of them,
+        #: the single-process deployment).
+        self.local_nodes: Optional[FrozenSet[int]] = (
+            None if local_nodes is None else frozenset(local_nodes)
+        )
+        if self.local_nodes is not None:
+            for node in self.local_nodes:
+                if node not in topology.nodes:
+                    raise SimulationError(f"local node {node} is not in the topology")
         self.codec = FrameCodec(self.config.max_frame_bytes)
         self.fault = fault
         self.stats = LinkStats()
@@ -106,11 +128,21 @@ class LiveTransport:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Bind every broker's server, then dial one writer per direction."""
+        """Bind the hosted brokers' servers, then dial one writer per
+        outgoing direction.
+
+        In the single-process deployment (``local_nodes is None``) that
+        means every node's server and both directions of every edge; in a
+        partition it means the local nodes' servers and the directions
+        whose sender is local — the peer process dials the reverse
+        direction against this partition's servers.
+        """
         if self.started:
             raise SimulationError("transport already started")
         host = self.config.host
-        for node in self.topology.nodes:
+        local = self.local_nodes
+        bind_nodes = self.topology.nodes if local is None else sorted(local)
+        for node in bind_nodes:
 
             def make_reader(dst: int) -> Callable[..., Any]:
                 async def on_connect(
@@ -122,6 +154,11 @@ class LiveTransport:
                 return on_connect
 
             address = self.config.address_of(node)
+            if address is None and local is not None:
+                raise SimulationError(
+                    f"partitioned transport needs an explicit peer address "
+                    f"for local node {node}"
+                )
             bind_host, bind_port = address if address is not None else (host, 0)
             server = await asyncio.start_server(make_reader(node), bind_host, bind_port)
             self._servers.append(server)
@@ -129,15 +166,53 @@ class LiveTransport:
         impose = self.config.impose_link_delays
         for u, v in self.topology.edges():
             for src, dst in ((u, v), (v, u)):
-                _, writer = await asyncio.wait_for(
-                    asyncio.open_connection(host, self._ports[dst]),
-                    self.config.connect_timeout,
-                )
+                if local is not None and src not in local:
+                    continue
+                address = self.config.address_of(dst)
+                if address is None:
+                    if local is not None:
+                        raise SimulationError(
+                            f"partitioned transport has no peer address for "
+                            f"node {dst} (needed by the {src} -> {dst} edge)"
+                        )
+                    address = (host, self._ports[dst])
+                _, writer = await self._dial(*address)
                 self._writers[(src, dst)] = writer
                 self._delays[(src, dst)] = (
                     self.topology.delay(src, dst) if impose else 0.0
                 )
         self.started = True
+
+    async def _dial(
+        self, host: str, port: int
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """Open one peer connection, retrying refusals until the timeout.
+
+        A fleet of broker processes boots in arbitrary order, so the peer
+        a partition dials may not have bound its server yet; connection
+        refusals are retried on a short backoff until ``connect_timeout``
+        is exhausted.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.connect_timeout
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise SimulationError(
+                    f"could not connect to peer {host}:{port} within "
+                    f"{self.config.connect_timeout}s"
+                )
+            try:
+                return await asyncio.wait_for(
+                    asyncio.open_connection(host, port), remaining
+                )
+            except (ConnectionRefusedError, OSError, asyncio.TimeoutError):
+                if deadline - loop.time() <= 0.05:
+                    raise SimulationError(
+                        f"could not connect to peer {host}:{port} within "
+                        f"{self.config.connect_timeout}s"
+                    )
+                await asyncio.sleep(0.05)
 
     async def close(self) -> None:
         """Tear down connections, servers, and reader tasks."""

@@ -180,9 +180,21 @@ class Sanitizer:
     State grows with the run (one record per transfer, one per ARQ timer);
     the class is meant for tests and debugging sessions, not for the
     full-scale benchmark sweeps.
+
+    ``partitioned=True`` adapts the checker to one process of a
+    multi-process live deployment, where a node observes only its own
+    partition's events: a frame transmitted by a *remote* broker
+    legitimately arrives here without a local ``transmit`` record, so the
+    unknown-arrival and over-settle conservation checks are relaxed (a
+    record is opened on first sight instead). The per-partition ledgers
+    are exported via :meth:`export_partition` and the full conservation
+    argument is re-run over the merged fleet by
+    :func:`check_merged_conservation` at the coordinator.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, partitioned: bool = False) -> None:
+        #: Whether this sanitizer sees only one partition of the fleet.
+        self.partitioned = partitioned
         # Aggregate counters surfaced as sanity.* perf entries.
         self.events_checked = 0
         self.timers_started = 0
@@ -323,14 +335,22 @@ class Sanitizer:
             return
         record = self._transfers.get(transfer_id)
         if record is None:
-            self._violate(
-                CONSERVATION,
-                f"transfer {transfer_id} delivered but never transmitted",
-                frames=(frame,),
-                transfer_id=transfer_id,
-            )
+            if not self.partitioned:
+                self._violate(
+                    CONSERVATION,
+                    f"transfer {transfer_id} delivered but never transmitted",
+                    frames=(frame,),
+                    transfer_id=transfer_id,
+                )
+            # Partitioned mode: the transmit happened in another process;
+            # open the record so the merged fleet-wide tally still sees
+            # the arrival (sent stays 0 here, >0 at the sender's export).
+            record = _TransferRecord(frame.msg_id, frame.destinations)
+            self._transfers[transfer_id] = record
         record.delivered += 1
-        if record.delivered + record.lost + record.expired > record.sent:
+        if not self.partitioned and (
+            record.delivered + record.lost + record.expired > record.sent
+        ):
             self._violate(
                 CONSERVATION,
                 f"transfer {transfer_id} settled more often than it was sent",
@@ -538,6 +558,40 @@ class Sanitizer:
         self._check_timer_orphans(now)
         self._check_conservation(metrics)
 
+    def finish_partition(self, now: float) -> None:
+        """End-of-run checks that are sound within one partition.
+
+        Timer settlement is purely local (every ARQ timer starts and
+        settles in the process that armed it), so the orphan check runs
+        here; conservation needs the whole fleet's ledgers and is
+        deferred to :func:`check_merged_conservation` at the coordinator.
+        """
+        self._check_timer_orphans(now)
+
+    def export_partition(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of this partition's conservation ledgers.
+
+        The coordinator sums these across processes (transfer records by
+        ``transfer_id``, custody pairs, loss itemisation) and re-runs the
+        full conservation argument via :func:`check_merged_conservation`.
+        """
+        return {
+            "transfers": [
+                [
+                    tid,
+                    record.msg_id,
+                    sorted(record.destinations),
+                    record.sent,
+                    record.delivered,
+                    record.lost,
+                    record.expired,
+                ]
+                for tid, record in sorted(self._transfers.items())
+            ],
+            "custody": sorted(list(pair) for pair in self._custody),
+            "losses_by_cause": dict(self.losses_by_cause),
+        }
+
     def _check_timer_orphans(self, now: float) -> None:
         orphans = [
             (token, entry[0])
@@ -650,6 +704,85 @@ class Sanitizer:
         for category, count in self.pair_counts.items():
             perf[f"sanity.pairs_{category}"] = float(count)
         return perf
+
+
+class _MergedOutcome:
+    """Outcome shim for :func:`check_merged_conservation` (duck-typed
+    against :meth:`Sanitizer._classify`'s reads)."""
+
+    __slots__ = ("msg_id", "subscriber", "delivered", "gave_up")
+
+    def __init__(
+        self, msg_id: int, subscriber: int, delivered: bool, gave_up: bool
+    ) -> None:
+        self.msg_id = msg_id
+        self.subscriber = subscriber
+        self.delivered = delivered
+        self.gave_up = gave_up
+
+
+class _MergedMetrics:
+    """Metrics shim exposing just ``outcomes()`` over merged fleet pairs."""
+
+    def __init__(self, outcomes: List[_MergedOutcome]) -> None:
+        self._outcomes = outcomes
+
+    def outcomes(self) -> List[_MergedOutcome]:
+        return self._outcomes
+
+
+def check_merged_conservation(
+    partitions: Any,
+    expected: Any,
+    delivered: Any,
+    gave_up: Any,
+) -> Dict[str, int]:
+    """Fleet-wide conservation over merged per-partition sanitizer exports.
+
+    Each partition of a multi-process run ships its
+    :meth:`Sanitizer.export_partition` snapshot to the coordinator; this
+    helper sums the transfer lifecycles by ``transfer_id`` (a frame sent
+    in one process and received in another contributes ``sent`` from the
+    sender's ledger and ``delivered`` from the receiver's), merges the
+    custody pairs and loss itemisation, and re-runs the exact
+    single-process conservation argument over the fleet's expected
+    ``(msg_id, subscriber)`` pairs. Raises :class:`InvariantViolation`
+    on a leak; returns the itemised pair counts otherwise.
+    """
+    merged = Sanitizer()
+    for part in partitions:
+        for tid, msg_id, dests, sent, deliv, lost, expired in part["transfers"]:
+            record = merged._transfers.get(tid)
+            if record is None:
+                record = _TransferRecord(msg_id, frozenset(dests))
+                merged._transfers[tid] = record
+            else:
+                record.destinations = frozenset(record.destinations) | frozenset(
+                    dests
+                )
+            record.sent += sent
+            record.delivered += deliv
+            record.lost += lost
+            record.expired += expired
+        for msg_id, subscriber in part.get("custody", ()):
+            merged._custody.add((msg_id, subscriber))
+        for cause, count in part.get("losses_by_cause", {}).items():
+            merged.losses_by_cause[cause] = (
+                merged.losses_by_cause.get(cause, 0) + count
+            )
+    delivered_set = set(delivered)
+    gave_up_set = set(gave_up)
+    outcomes = [
+        _MergedOutcome(
+            msg_id,
+            subscriber,
+            (msg_id, subscriber) in delivered_set,
+            (msg_id, subscriber) in gave_up_set,
+        )
+        for msg_id, subscriber in sorted(expected)
+    ]
+    merged._check_conservation(_MergedMetrics(outcomes))
+    return dict(merged.pair_counts)
 
 
 def _missort_table(table: Any) -> Any:

@@ -20,10 +20,21 @@ the trace deterministic instead:
 * message/transfer ids are reproducible because the run starts from
   ``reset_message_ids()`` and the scenario is a single causal chain.
 
+The same world is also pinned on the **multi-process** substrate
+(``data/live_multiproc_golden_trace.jsonl``): two broker OS processes
+(nodes {0, 2} and {1, 3}), the same 0.1 s buckets, with two extra
+normalization steps — timestamps are taken relative to the scheduled
+first-publish instant (the fleet synchronizes on a start epoch, so the
+publish happens at ``START_DELAY``, not 0), and the striped transfer ids
+are decomposed into ``(group, seq)`` so the per-process allocation
+stripes pin stably.
+
 Regenerate after a reviewed behavioural change with::
 
     PYTHONPATH=src:. python -c "
     from tests.integration.test_live_golden import write_live_golden; write_live_golden()"
+    PYTHONPATH=src:. python -c "
+    from tests.integration.test_live_golden import write_multiproc_golden; write_multiproc_golden()"
 """
 
 from __future__ import annotations
@@ -32,11 +43,16 @@ import json
 from pathlib import Path
 
 from repro import trace as _trace
+from repro.live.broker import split_transfer_id
+from repro.live.cluster import START_DELAY, run_cluster_scenario
 from repro.live.faults import dead_link_rules
 from repro.live.runtime import run_live_scenario
 from repro.live.scenarios import Scenario
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "live_golden_trace.jsonl"
+MULTIPROC_GOLDEN_PATH = (
+    Path(__file__).parent / "data" / "live_multiproc_golden_trace.jsonl"
+)
 
 #: Quantization bucket width; all imposed delays are multiples of it.
 QUANTUM = 0.1
@@ -111,6 +127,53 @@ def write_live_golden() -> None:  # pragma: no cover - regeneration helper
     GOLDEN_PATH.write_text(render(normalize(tracer)), encoding="utf-8")
 
 
+def normalize_multiproc(rows):
+    """Quantize a merged cluster trace into the same deterministic form.
+
+    Two extra steps versus :func:`normalize`: timestamps are re-based on
+    the scheduled first-publish instant (``START_DELAY`` after the fleet
+    epoch), and striped transfer ids are decomposed into ``(tg, ts)`` —
+    the process stripe group and the in-group sequence — because the raw
+    40-bit-shifted ids would make the pin unreadable and would change if
+    the stripe width ever did.
+    """
+    out = []
+    for t, kind, msg, transfer, node, peer in rows:
+        if kind not in PINNED_KINDS:
+            continue
+        group, seq = (0, -1) if transfer is None else split_transfer_id(transfer)
+        out.append(
+            {
+                "q": int(round((t - START_DELAY) / QUANTUM)),
+                "kind": kind,
+                "node": -1 if node is None else node,
+                "peer": -1 if peer is None else peer,
+                "msg": -1 if msg is None else msg,
+                "tg": group,
+                "ts": seq,
+            }
+        )
+    out.sort(
+        key=lambda r: (
+            r["q"], r["kind"], r["node"], r["peer"], r["msg"], r["tg"], r["ts"],
+        )
+    )
+    return out
+
+
+def traced_multiproc_run():
+    return run_cluster_scenario(
+        golden_scenario(), seed=0, sanitize=True, processes=2, trace=True
+    )
+
+
+def write_multiproc_golden() -> None:  # pragma: no cover - regeneration helper
+    result = traced_multiproc_run()
+    MULTIPROC_GOLDEN_PATH.write_text(
+        render(normalize_multiproc(result["trace"])), encoding="utf-8"
+    )
+
+
 def test_live_trace_matches_pinned_quantized_jsonl():
     result, tracer = traced_live_run()
     assert result["violations"] == 0
@@ -129,3 +192,36 @@ def test_live_golden_exercises_the_full_recovery_sequence():
     # bounce and slow-branch hops); quantization must put it at bucket 10.
     deliver = next(e for e in tracer.events() if e.kind == "deliver")
     assert int(round(deliver.t / QUANTUM)) == 10
+
+
+def test_multiproc_trace_matches_pinned_quantized_jsonl():
+    result = traced_multiproc_run()
+    assert result["violations"] == 0
+    assert result["conservation"]["leaked"] == 0
+    rendered = render(normalize_multiproc(result["trace"]))
+    assert rendered == MULTIPROC_GOLDEN_PATH.read_text(encoding="utf-8")
+
+
+def test_multiproc_golden_projects_onto_the_single_process_pin():
+    """Strip the transfer ids and the two pins describe the same run.
+
+    Transfer ids cannot match across substrates — the fleet stripes them
+    per process while the single-process run numbers them globally — but
+    the quantized ``(q, kind, node, peer, msg)`` event multiset must be
+    identical: same publish, same drops on the dead link, same timeout /
+    failover / bounce chain, same bucket-10 delivery over the slow branch.
+    """
+    def project(rows):
+        return sorted(
+            (r["q"], r["kind"], r["node"], r["peer"], r["msg"]) for r in rows
+        )
+
+    single = [json.loads(line) for line in
+              GOLDEN_PATH.read_text(encoding="utf-8").splitlines()]
+    multi = [json.loads(line) for line in
+             MULTIPROC_GOLDEN_PATH.read_text(encoding="utf-8").splitlines()]
+    assert project(multi) == project(single)
+    # The striping itself is visible in the pin: node 0's partition
+    # allocates in stripe 1, node 1's in stripe 2.
+    groups = {r["tg"] for r in multi if r["tg"] > 0}
+    assert groups == {1, 2}

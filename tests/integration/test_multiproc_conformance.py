@@ -1,0 +1,167 @@
+"""Three-way sim <-> live <-> multi-process conformance suite.
+
+Every scripted scenario runs three times — on the discrete-event kernel,
+on the single-process asyncio TCP runtime, and on a fleet of broker OS
+processes coordinated by :mod:`repro.live.cluster` — across 5 seeds x 4
+scenario kinds, and all three executions must agree:
+
+* **identical delivered-pair sets** (and identical give-ups) on all
+  three substrates — the protocol modules were not touched by the
+  multi-process deployment, and this matrix is the proof;
+* **at-most-once post-dedup** — the max accept count per transfer is 1
+  fleet-wide (transfer ids are striped per process, so a collision
+  would surface here as a phantom duplicate);
+* **exactly-once timer settlement** — every ARQ timer started in any
+  process settles exactly once in that process;
+* **sanitizer-clean** — each partition passes its local checks and the
+  coordinator re-proves fleet-wide frame conservation from the merged
+  ledgers (zero leaked pairs).
+
+The fault scripts are whole-run per-direction drop-all rules, so the
+delivered-pair set is timing-independent — process scheduling jitter
+cannot change what is delivered on any substrate.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.live.cluster import ClusterError, LiveCluster, run_cluster_scenario
+from repro.live.runtime import run_live_scenario
+from repro.live.scenarios import SCENARIO_KINDS, make_scenario, run_sim_scenario
+
+#: The ISSUE's matrix: 5 seeds x all 4 scenario kinds.
+SEEDS = (0, 1, 2, 3, 4)
+
+#: Fleet sizes per kind — enough processes that every scenario crosses
+#: real process boundaries on its delivery path, small enough that the
+#: 20-cell matrix stays inside the tier-1 budget.
+PROCESSES = {"clean": 2, "link_loss": 3, "ack_loss": 2, "failover_bounce": 2}
+
+
+def assert_three_way_conformant(sim: dict, live: dict, multi: dict) -> None:
+    """The differential contract across all three substrates."""
+    assert sim["delivered"] == live["delivered"] == multi["delivered"]
+    assert sim["gave_up"] == live["gave_up"] == multi["gave_up"]
+    assert sim["deliveries"] == live["deliveries"] == multi["deliveries"]
+    assert sim["published"] == live["published"] == multi["published"]
+    assert sim["expected"] == live["expected"] == multi["expected"]
+    for result in (sim, live, multi):
+        assert result["max_accepts_per_transfer"] <= 1
+        assert result["in_flight"] == 0
+        assert result["timers_started"] == result["timers_settled"]
+        assert result["violations"] == 0
+    # The coordinator's merged fleet-wide conservation: every expected
+    # pair provably delivered/dropped/stranded, none leaked across a
+    # process boundary.
+    assert multi["conservation"]["leaked"] == 0
+    assert multi["conservation"]["delivered"] == len(multi["delivered"])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("kind", SCENARIO_KINDS)
+def test_sim_live_and_multiproc_agree(kind, seed):
+    sim = run_sim_scenario(make_scenario(kind), seed=seed, sanitize=True)
+    live = run_live_scenario(make_scenario(kind), seed=seed, sanitize=True)
+    multi = run_cluster_scenario(
+        make_scenario(kind), seed=seed, sanitize=True, processes=PROCESSES[kind]
+    )
+    assert_three_way_conformant(sim, live, multi)
+    # The scripted worlds keep every pair reachable: conformance is never
+    # satisfied by three empty runs.
+    assert len(multi["delivered"]) == multi["expected"]
+
+
+def test_multiproc_recovery_crosses_process_boundaries():
+    """Loss scenarios must exercise real cross-process ARQ recovery."""
+    for kind in ("link_loss", "failover_bounce"):
+        multi = run_cluster_scenario(
+            make_scenario(kind), seed=0, sanitize=True, processes=PROCESSES[kind]
+        )
+        assert multi["retransmissions"] > 0, kind
+        assert len(multi["delivered"]) == multi["expected"], kind
+
+
+def test_one_process_per_node_fleet():
+    """The maximal deployment: every broker in its own OS process."""
+    scenario = make_scenario("failover_bounce")
+    sim = run_sim_scenario(make_scenario("failover_bounce"), seed=0, sanitize=True)
+    multi = run_cluster_scenario(scenario, seed=0, sanitize=True, processes=4)
+    assert sim["delivered"] == multi["delivered"]
+    assert multi["violations"] == 0
+    assert multi["conservation"]["leaked"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Crash tolerance
+# ---------------------------------------------------------------------------
+def test_killed_broker_process_is_reported_not_hung():
+    """Killing one broker mid-scenario must raise a ClusterError naming
+    the dead process's nodes, well before the settle timeout would give
+    up on a wedged-but-alive fleet."""
+    scenario = make_scenario("clean")
+    cluster = LiveCluster(scenario, seed=0, processes=3, settle_timeout=8.0)
+    try:
+        cluster.start()
+        # Land the kill inside the publish window (first publish at
+        # START_DELAY=0.5s): the fleet still has copies in flight toward
+        # the victim, so without crash detection the coordinator would
+        # poll until the settle deadline.
+        time.sleep(0.2)
+        victim_group = cluster.config.group_of(3)
+        victim_nodes = sorted(cluster.config.groups[victim_group])
+        cluster.kill_node(3)
+        started = time.monotonic()
+        with pytest.raises(ClusterError) as excinfo:
+            cluster.wait_settled()
+        elapsed = time.monotonic() - started
+        message = str(excinfo.value)
+        assert str(victim_nodes) in message
+        assert "exited" in message
+        # Detection is poll-driven (50ms sweeps), not timeout-driven.
+        assert elapsed < 5.0
+    finally:
+        cluster.shutdown()
+
+
+def test_shutdown_after_crash_is_clean():
+    """Tearing down a fleet with a dead member must not raise."""
+    cluster = LiveCluster(make_scenario("failover_bounce"), seed=0, processes=2)
+    try:
+        cluster.start()
+        cluster.kill_node(0)
+    finally:
+        cluster.shutdown()  # must swallow the dead control channel
+
+
+# ---------------------------------------------------------------------------
+# CLI launcher
+# ---------------------------------------------------------------------------
+def test_launcher_multiproc_differential_smoke():
+    """`run_live.py --processes N --differential` end to end."""
+    repo = Path(__file__).resolve().parents[2]
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(repo / "scripts" / "run_live.py"),
+            "failover_bounce",
+            "--seed",
+            "1",
+            "--processes",
+            "2",
+            "--differential",
+        ],
+        cwd=str(repo),
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "AGREE" in result.stdout
+    assert "multiproc[2]" in result.stdout

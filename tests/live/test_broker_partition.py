@@ -1,0 +1,214 @@
+"""In-process tests of the multi-process broker partition seams.
+
+The real deployment runs one :class:`PartitionRuntime` per OS process
+(see ``tests/integration/test_multiproc_conformance.py``); these tests
+run two partitions **on one asyncio loop** so the partition logic — the
+split transport wiring, transfer-id striping, pre-registered
+expectations, per-partition reports and merging — executes inside the
+test process where coverage (and debuggers) can see it.
+
+Co-locating partitions has one consequence the runtime is built to
+tolerate: the probe bus is process-global, so each partition's ledger
+observes both partitions' events and must filter to its hosted nodes at
+report time. The sanitizer is exercised per-partition in the
+single-partition test instead (two would contend for the global slot).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.live.broker import (
+    PartitionRuntime,
+    TRANSFER_STRIPE_BITS,
+    install_transfer_stripe,
+    split_transfer_id,
+)
+from repro.live.cluster import merge_reports, plan_cluster
+from repro.live.config import LiveConfig
+from repro.live.scenarios import make_scenario, run_sim_scenario
+from repro.pubsub.messages import next_transfer_id, reset_message_ids
+from repro.util.errors import ConfigurationError
+
+
+# ---------------------------------------------------------------------------
+# Transfer-id striping
+# ---------------------------------------------------------------------------
+class TestTransferStripe:
+    def test_striped_ids_live_in_disjoint_ranges(self):
+        reset_message_ids()
+        install_transfer_stripe(2)
+        first = next_transfer_id()
+        assert split_transfer_id(first) == (2, 1)
+        install_transfer_stripe(5)
+        assert split_transfer_id(next_transfer_id()) == (5, 1)
+        reset_message_ids()
+        assert split_transfer_id(next_transfer_id()) == (0, 1)
+
+    def test_unstriped_ids_decompose_to_group_zero(self):
+        assert split_transfer_id(1) == (0, 1)
+        assert split_transfer_id((1 << TRANSFER_STRIPE_BITS) - 1) == (
+            0,
+            (1 << TRANSFER_STRIPE_BITS) - 1,
+        )
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(ConfigurationError, match="stripe group"):
+            install_transfer_stripe(0)
+
+
+# ---------------------------------------------------------------------------
+# Two partitions on one loop
+# ---------------------------------------------------------------------------
+def _partition_configs(scenario, groups):
+    """One LiveConfig per group, sharing the full peer-address map."""
+    nodes = sorted(scenario.topology().nodes)
+    plan = plan_cluster(nodes, len(groups))
+    peers = dict(plan.addresses)
+    return [LiveConfig(peers=peers) for _ in groups]
+
+
+async def _run_partitions(scenario, groups, seed=0):
+    configs = _partition_configs(scenario, groups)
+    runtimes = [
+        PartitionRuntime(
+            scenario,
+            seed,
+            group,
+            config,
+            sanitize=False,  # the probe-bus sanitizer slot is process-global
+            stripe_group=min(group) + 1,
+            manage_observers=(index == 0),  # one shared ledger install
+        )
+        for index, (group, config) in enumerate(zip(groups, configs))
+    ]
+    shared_ledger = runtimes[0].ledger
+    for runtime in runtimes[1:]:
+        runtime.ledger = shared_ledger
+    try:
+        # Start concurrently: each partition binds its servers before
+        # dialing, and the dial-retry loop covers the boot ordering —
+        # the same dance the real process fleet does.
+        await asyncio.gather(*(runtime.start() for runtime in runtimes))
+        publish_times = [
+            0.05 + i * scenario.publish_interval
+            for i in range(scenario.publishes)
+        ]
+        for runtime in runtimes:
+            runtime.begin(time.time(), publish_times)
+        deadline = asyncio.get_running_loop().time() + 10.0
+        while asyncio.get_running_loop().time() < deadline:
+            done = all(r.done_publishing for r in runtimes)
+            in_flight = sum(r.strategy.arq.in_flight for r in runtimes)
+            if done and in_flight == 0:
+                break
+            await asyncio.sleep(0.02)
+        return [runtime.report() for runtime in runtimes]
+    finally:
+        for runtime in runtimes:
+            await runtime.close()
+
+
+def test_two_partitions_match_the_sim_delivered_set():
+    scenario = make_scenario("failover_bounce")
+    reports = asyncio.run(_run_partitions(scenario, [(0, 2), (1, 3)]))
+    merged = merge_reports(scenario, reports, sanitize=False)
+    sim = run_sim_scenario(make_scenario("failover_bounce"), seed=0, sanitize=False)
+    assert merged["delivered"] == sim["delivered"]
+    assert merged["gave_up"] == sim["gave_up"]
+    assert merged["deliveries"] == sim["deliveries"]
+    assert merged["in_flight"] == 0
+    assert merged["published"] == scenario.publishes
+    # The dead 1->3 link forces real recovery through the partition seam.
+    assert merged["retransmissions"] > 0
+
+
+def test_partition_reports_are_disjoint_by_node():
+    scenario = make_scenario("failover_bounce")
+    reports = asyncio.run(_run_partitions(scenario, [(0, 2), (1, 3)]))
+    assert reports[0]["nodes"] == [0, 2]
+    assert reports[1]["nodes"] == [1, 3]
+    # The subscriber (node 3) lives in partition 1: all deliveries and
+    # delivered pairs must be recorded there and only there.
+    assert reports[0]["deliveries"] == []
+    assert reports[0]["delivered"] == []
+    assert len(reports[1]["delivered"]) == scenario.publishes
+    # Only the publisher's partition publishes.
+    assert reports[0]["published"] == scenario.publishes
+    assert reports[1]["published"] == 0
+
+
+# ---------------------------------------------------------------------------
+# One partition hosting everything (sanitizer + report shape coverage)
+# ---------------------------------------------------------------------------
+async def _run_single_partition(scenario, seed=0):
+    nodes = sorted(scenario.topology().nodes)
+    config = _partition_configs(scenario, [tuple(nodes)])[0]
+    runtime = PartitionRuntime(
+        scenario, seed, nodes, config, sanitize=True, stripe_group=1
+    )
+    try:
+        await runtime.start()
+        publish_times = [
+            0.05 + i * scenario.publish_interval
+            for i in range(scenario.publishes)
+        ]
+        runtime.begin(time.time(), publish_times)
+        deadline = asyncio.get_running_loop().time() + 10.0
+        while asyncio.get_running_loop().time() < deadline:
+            status = runtime.status()
+            if status["done_publishing"] and status["in_flight"] == 0:
+                break
+            await asyncio.sleep(0.02)
+        return runtime.report(), runtime.status()
+    finally:
+        await runtime.close()
+
+
+def test_single_partition_is_sanitizer_clean_and_exports_ledgers():
+    scenario = make_scenario("failover_bounce")
+    report, status = asyncio.run(_run_single_partition(scenario))
+    assert report["violations"] == 0
+    assert report["timers_started"] == report["timers_settled"] > 0
+    export = report["sanitizer"]
+    assert export["transfers"], "partition export must carry transfer records"
+    # Every exported transfer id sits in this partition's stripe.
+    for tid, *_ in export["transfers"]:
+        assert split_transfer_id(tid)[0] == 1
+    assert status["activity"] > 0
+    assert status["done_publishing"]
+
+
+def test_partition_requires_at_least_one_node():
+    with pytest.raises(ConfigurationError, match="at least one node"):
+        PartitionRuntime(make_scenario("clean"), 0, [])
+
+
+def test_merged_report_shape_matches_harvest_contract():
+    scenario = make_scenario("failover_bounce")
+    report, _ = asyncio.run(_run_single_partition(scenario))
+    merged = merge_reports(scenario, [report], sanitize=True)
+    for key in (
+        "scenario",
+        "published",
+        "expected",
+        "delivered",
+        "gave_up",
+        "duplicates",
+        "max_accepts_per_transfer",
+        "deliveries",
+        "delays",
+        "retransmissions",
+        "abandoned",
+        "in_flight",
+        "timers_started",
+        "timers_settled",
+        "violations",
+        "conservation",
+    ):
+        assert key in merged, key
+    assert merged["conservation"]["leaked"] == 0
+    assert merged["conservation"]["delivered"] == len(merged["delivered"])

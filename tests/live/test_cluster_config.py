@@ -1,0 +1,180 @@
+"""Property tests of the cluster/peer-address configuration parsers.
+
+A multi-process deployment is described twice — ``LiveConfig.peers``
+inside each broker process, :class:`ClusterConfig` at the coordinator —
+and both must reject every malformed plan at construction time: a port
+collision or a duplicate node id that slips through only surfaces later
+as a wedged fleet. Hypothesis drives the validators across generated
+plans and targeted corruptions of known-good ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.live.cluster import ClusterConfig, allocate_ports, plan_cluster
+from repro.live.config import LiveConfig
+from repro.util.errors import ConfigurationError
+
+ports = st.integers(min_value=1, max_value=65535)
+node_sets = st.sets(st.integers(min_value=0, max_value=31), min_size=1, max_size=12)
+
+
+def _valid_config(nodes, process_count):
+    """A well-formed plan over *nodes* split into *process_count* groups."""
+    node_list = sorted(nodes)
+    process_count = max(1, min(process_count, len(node_list)))
+    groups = [node_list[i::process_count] for i in range(process_count)]
+    addresses = {
+        node: ("127.0.0.1", 10000 + i) for i, node in enumerate(node_list)
+    }
+    return ClusterConfig(
+        groups=tuple(tuple(g) for g in groups if g),
+        addresses=addresses,
+        control=("127.0.0.1", 9999),
+    )
+
+
+# ---------------------------------------------------------------------------
+# ClusterConfig
+# ---------------------------------------------------------------------------
+@given(nodes=node_sets, process_count=st.integers(min_value=1, max_value=6))
+def test_valid_plans_construct_and_round_trip(nodes, process_count):
+    config = _valid_config(nodes, process_count)
+    assert set(config.nodes) == nodes
+    # Every node is hosted by exactly one group, and group_of finds it.
+    for node in nodes:
+        assert node in config.groups[config.group_of(node)]
+    rebuilt = ClusterConfig.from_dict(config.to_dict())
+    assert rebuilt == config
+
+
+@given(nodes=node_sets, process_count=st.integers(min_value=1, max_value=6),
+       data=st.data())
+def test_duplicate_node_across_groups_rejected(nodes, process_count, data):
+    config = _valid_config(nodes, process_count)
+    duplicated = data.draw(st.sampled_from(sorted(nodes)))
+    groups = list(config.groups) + [(duplicated,)]
+    with pytest.raises(ConfigurationError, match="appears in process groups"):
+        ClusterConfig(groups=tuple(groups), addresses=config.addresses,
+                      control=config.control)
+
+
+@given(nodes=st.sets(st.integers(min_value=0, max_value=31), min_size=2,
+                     max_size=12),
+       data=st.data())
+def test_port_collision_between_brokers_rejected(nodes, data):
+    config = _valid_config(nodes, 2)
+    victim, source = data.draw(
+        st.permutations(sorted(nodes)).filter(lambda p: p[0] != p[1])
+    )[:2]
+    addresses = dict(config.addresses)
+    addresses[victim] = addresses[source]
+    with pytest.raises(ConfigurationError, match="address collision"):
+        ClusterConfig(groups=config.groups, addresses=addresses,
+                      control=config.control)
+
+
+@given(nodes=node_sets, data=st.data())
+def test_unreachable_peer_rejected(nodes, data):
+    """A grouped node without a listen address is unreachable."""
+    config = _valid_config(nodes, 1)
+    dropped = data.draw(st.sampled_from(sorted(nodes)))
+    addresses = {n: a for n, a in config.addresses.items() if n != dropped}
+    with pytest.raises(ConfigurationError, match="unreachable"):
+        ClusterConfig(groups=config.groups, addresses=addresses,
+                      control=config.control)
+
+
+@given(nodes=node_sets, data=st.data())
+def test_control_port_colliding_with_broker_rejected(nodes, data):
+    config = _valid_config(nodes, 1)
+    node = data.draw(st.sampled_from(sorted(nodes)))
+    with pytest.raises(ConfigurationError, match="control address"):
+        ClusterConfig(groups=config.groups, addresses=config.addresses,
+                      control=config.addresses[node])
+
+
+@given(port=st.one_of(
+    st.integers(min_value=-5, max_value=-1),
+    st.integers(min_value=65536, max_value=70000),
+))
+def test_out_of_range_broker_port_rejected(port):
+    with pytest.raises(ConfigurationError, match="port"):
+        ClusterConfig(groups=((0,),), addresses={0: ("127.0.0.1", port)},
+                      control=("127.0.0.1", 9999))
+
+
+def test_empty_group_rejected():
+    with pytest.raises(ConfigurationError, match="hosts no nodes"):
+        ClusterConfig(groups=((0,), ()),
+                      addresses={0: ("127.0.0.1", 10000)},
+                      control=("127.0.0.1", 9999))
+
+
+def test_no_groups_rejected():
+    with pytest.raises(ConfigurationError, match="at least one process group"):
+        ClusterConfig(groups=())
+
+
+def test_unknown_config_field_rejected():
+    good = _valid_config({0, 1}, 2).to_dict()
+    good["surprise"] = 1
+    with pytest.raises(ConfigurationError, match="unknown cluster config"):
+        ClusterConfig.from_dict(good)
+
+
+def test_group_of_unknown_node_rejected():
+    config = _valid_config({0, 1}, 1)
+    with pytest.raises(ConfigurationError, match="not in any process group"):
+        config.group_of(7)
+
+
+# ---------------------------------------------------------------------------
+# plan_cluster / allocate_ports
+# ---------------------------------------------------------------------------
+@given(nodes=node_sets, processes=st.integers(min_value=1, max_value=8))
+@settings(max_examples=20)  # binds real sockets; keep the example count low
+def test_plan_cluster_produces_valid_configs(nodes, processes):
+    config = plan_cluster(sorted(nodes), processes)
+    assert set(config.nodes) == nodes
+    assert len(config.groups) == min(processes, len(nodes))
+    # Distinct ports for every broker and the control server.
+    all_ports = [port for _, port in config.addresses.values()]
+    all_ports.append(config.control[1])
+    assert len(set(all_ports)) == len(all_ports)
+
+
+def test_plan_cluster_rejects_empty_and_nonpositive():
+    with pytest.raises(ConfigurationError, match="no nodes"):
+        plan_cluster([], 2)
+    with pytest.raises(ConfigurationError, match="processes"):
+        plan_cluster([0, 1], 0)
+
+
+def test_allocate_ports_are_distinct():
+    assert len(set(allocate_ports(8))) == 8
+
+
+# ---------------------------------------------------------------------------
+# LiveConfig.peers (the per-process half of the same surface)
+# ---------------------------------------------------------------------------
+@given(nodes=st.sets(st.integers(min_value=0, max_value=31), min_size=2,
+                     max_size=12),
+       data=st.data())
+def test_live_config_peer_port_collision_rejected(nodes, data):
+    node_list = sorted(nodes)
+    peers = {node: ("127.0.0.1", 20000 + i) for i, node in enumerate(node_list)}
+    a, b = data.draw(st.permutations(node_list))[:2]
+    peers[a] = peers[b]
+    with pytest.raises(ConfigurationError, match="duplicate peer address"):
+        LiveConfig(peers=peers)
+
+
+@given(nodes=node_sets)
+def test_live_config_distinct_peers_accepted(nodes):
+    peers = {node: ("127.0.0.1", 20000 + i) for i, node in enumerate(sorted(nodes))}
+    config = LiveConfig(peers=peers)
+    for node in nodes:
+        assert config.address_of(node) == peers[node]
