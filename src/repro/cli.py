@@ -67,6 +67,14 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--loss", type=float, default=1e-4)
     parser.add_argument("--deadline-factor", type=float, default=3.0)
     parser.add_argument("--m", type=int, default=1)
+    parser.add_argument(
+        "--ordering",
+        default=None,
+        metavar="LEVEL[:topic,...]",
+        help="opt-in delivery-ordering guarantee: fifo, causal or total, "
+        "optionally restricted to a comma-separated topic list "
+        "(default: unordered delivery, the paper's semantics)",
+    )
     parser.add_argument("--duration", type=float, default=30.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -102,6 +110,7 @@ def _config_from(args: argparse.Namespace) -> ExperimentConfig:
         loss_rate=args.loss,
         deadline_factor=args.deadline_factor,
         m=args.m,
+        ordering=args.ordering,
         duration=args.duration,
         sanitize=args.sanitize,
         trace=args.trace is not None,

@@ -66,6 +66,11 @@ class ExperimentConfig:
     # --- protocol ----------------------------------------------------
     m: int = 1
     ack_timeout_factor: float = 2.0
+    # Opt-in delivery-ordering guarantee, as "LEVEL[:topic,...]" with
+    # LEVEL one of repro.ordering.LEVELS ("fifo" | "causal" | "total");
+    # no topic list covers every topic. None (the default) keeps the
+    # paper's unordered delivery and the bit-identical fast path.
+    ordering: Optional[str] = None
 
     # --- monitoring --------------------------------------------------
     monitor_period: float = 300.0
@@ -122,6 +127,12 @@ class ExperimentConfig:
                 require(choice >= 1.0, "deadline factors must be >= 1")
         require(self.m >= 1, "m must be >= 1")
         require_positive(self.ack_timeout_factor, "ack_timeout_factor")
+        if self.ordering is not None:
+            # Eager validation: an unknown level fails here, at config
+            # build time, with an error naming the valid levels.
+            from repro.ordering.spec import parse_ordering
+
+            parse_ordering(self.ordering)
         require_positive(self.monitor_period, "monitor_period")
         require(self.monitor_mode in ("analytic", "sampled"), "bad monitor_mode")
         require_positive(self.duration, "duration")

@@ -25,6 +25,7 @@ from repro.core.forwarding import DcrdStrategy
 from repro.experiments.config import ExperimentConfig
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import MetricsSummary, summarize
+from repro.ordering.plan import OrderingPlan
 from repro.overlay.failures import FailureSchedule, NodeFailureSchedule
 from repro.overlay.links import OverlayNetwork
 from repro.overlay.monitor import LinkMonitor
@@ -107,6 +108,7 @@ class SimulationEnvironment:
     monitor_process: PeriodicProcess
     sanitizer: Optional[_sanity.Sanitizer] = None
     tracer: Optional[_trace.FrameTracer] = None
+    ordering: Optional[OrderingPlan] = None
 
     def execute(self) -> MetricsSummary:
         """Run to the configured end time and summarise.
@@ -129,13 +131,22 @@ class SimulationEnvironment:
         # run must never observe an unrelated environment.
         _sanity.install(self.sanitizer)
         _trace.install(self.tracer)
+        plan = self.ordering
         try:
             try:
+                if plan is not None:
+                    plan.activate()
                 for publisher in self.publishers:
                     publisher.start()
                 self.monitor_process.start()
                 self.ctx.sim.run(until=self.config.end_time)
+                # Drain any residual hold-back state while the sanitizer is
+                # still attached, so "flush" releases are observed too.
+                if plan is not None:
+                    plan.flush()
             finally:
+                if plan is not None:
+                    plan.deactivate()
                 _sanity.uninstall()
             if self.sanitizer is not None:
                 self.sanitizer.finish(self.ctx.metrics, self.ctx.sim.now)
@@ -189,6 +200,8 @@ class SimulationEnvironment:
             perf.update(self.sanitizer.perf_counters())
         if self.tracer is not None:
             perf.update(self.tracer.perf_counters())
+        if self.ordering is not None:
+            perf.update(self.ordering.perf_counters())
         # External bus observers (attached via repro.probes.attach) surface
         # their counters too, e.g. ProbeCounters' probes.* entries.
         for observer in _probes.observers():
@@ -270,6 +283,7 @@ def build_environment(
     )
     monitor = LinkMonitor(topology, network, streams, mode=config.monitor_mode)
     metrics = MetricsCollector()
+    ordering = OrderingPlan.from_text(config.ordering)
     ctx = RuntimeContext(
         sim=sim,
         topology=topology,
@@ -281,6 +295,7 @@ def build_environment(
         params=ProtocolParams(
             m=config.m, ack_timeout_factor=config.ack_timeout_factor
         ),
+        ordering=ordering,
     )
     # The sanitizer must watch the *build* too: strategy.setup() solves the
     # initial control tables (Theorem-1 order checks) right here. Installed
@@ -325,6 +340,7 @@ def build_environment(
         monitor_process=monitor_process,
         sanitizer=sanitizer,
         tracer=_trace.FrameTracer() if config.trace else None,
+        ordering=ordering,
     )
 
 

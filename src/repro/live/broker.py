@@ -63,6 +63,7 @@ from repro.live.faults import FaultInjector
 from repro.live.scenarios import AcceptLedger, Scenario, scenario_from_dict
 from repro.live.transport import LiveTransport
 from repro.metrics.collector import MetricsCollector
+from repro.ordering.plan import OrderingPlan, plan_from_scenario
 from repro.overlay.monitor import LinkMonitor
 from repro.pubsub import messages as _messages
 from repro.pubsub.broker import BrokerRuntime
@@ -138,6 +139,7 @@ class PartitionRuntime:
         self.transport: Optional[LiveTransport] = None
         self.strategy: Optional[DcrdStrategy] = None
         self.ctx: Optional[RuntimeContext] = None
+        self.ordering: Optional[OrderingPlan] = None
         self.sanitizer: Optional[_sanity.Sanitizer] = None
         self.ledger = AcceptLedger()
         self.tracer: Optional[_trace.FrameTracer] = (
@@ -172,6 +174,7 @@ class PartitionRuntime:
         )
         streams = RandomStreams(self.seed)
         monitor = LinkMonitor(topology, self.transport, streams, mode="analytic")
+        self.ordering = plan_from_scenario(self.scenario.ordering)
         self.ctx = RuntimeContext(
             sim=self.clock,
             topology=topology,
@@ -181,7 +184,13 @@ class PartitionRuntime:
             metrics=MetricsCollector(),
             streams=streams,
             params=self.scenario.params(),
+            ordering=self.ordering,
         )
+        if self.ordering is not None and self.hosts_publisher:
+            # The stamper hook is process-global; only the publisher's
+            # partition ever runs fresh(), and activating just that one
+            # keeps co-located test partitions from clobbering each other.
+            self.ordering.activate()
         self.strategy = DcrdStrategy(self.ctx)
         self.strategy.setup()
         brokers = [
@@ -242,6 +251,9 @@ class PartitionRuntime:
         return {
             "nodes": sorted(self.local_nodes),
             "in_flight": self.strategy.arq.in_flight,
+            # Frames parked in hold-back pipelines: still "in flight" for
+            # quiescence purposes (a stall timer will release them).
+            "held": self.ordering.held_count() if self.ordering else 0,
             "activity": activity,
             "done_publishing": self.done_publishing,
             "published": self.published,
@@ -257,9 +269,14 @@ class PartitionRuntime:
         """
         assert self.ctx is not None and self.strategy is not None
         assert self.clock is not None
-        if self.sanitizer is not None and not self._finished:
+        if not self._finished:
             self._finished = True
-            self.sanitizer.finish_partition(self.clock.now)
+            # Flush hold-back buffers first so end-of-run releases land in
+            # the metrics (and the sanitizer) before the partition checks.
+            if self.ordering is not None:
+                self.ordering.flush()
+            if self.sanitizer is not None:
+                self.sanitizer.finish_partition(self.clock.now)
         metrics = self.ctx.metrics
         local = self.local_nodes
         outcomes = metrics.outcomes()
@@ -284,6 +301,11 @@ class PartitionRuntime:
             "deliveries": sorted(
                 [msg, node] for msg, node in self.ledger.deliveries if node in local
             ),
+            # Unsorted arrival order (local nodes only): the ordering
+            # conformance suite compares per-node subsequences of this.
+            "delivery_order": [
+                [msg, node] for msg, node in self.ledger.deliveries if node in local
+            ],
             "accepts_max": max(
                 (
                     count
@@ -318,6 +340,8 @@ class PartitionRuntime:
             except (asyncio.CancelledError, Exception):  # pragma: no cover
                 pass
             self._publish_task = None
+        if self.ordering is not None:
+            self.ordering.deactivate()
         if self.manage_observers:
             _sanity.uninstall()
             _trace.uninstall()

@@ -440,7 +440,10 @@ class LiveCluster:
             self._check_processes()
             statuses = self._statuses()
             done = all(status["done_publishing"] for status in statuses)
-            in_flight = sum(status["in_flight"] for status in statuses)
+            in_flight = sum(
+                status["in_flight"] + status.get("held", 0)
+                for status in statuses
+            )
             activity = sum(status["activity"] for status in statuses)
             if done and in_flight == 0 and activity == last_activity:
                 stable += 1
@@ -573,6 +576,14 @@ def merge_reports(
         "abandoned": sum(report["abandoned"] for report in reports),
         "in_flight": sum(report["in_flight"] for report in reports),
         "nodes": sorted(node for report in reports for node in report["nodes"]),
+        # Per-node arrival order survives the merge untouched: each node's
+        # deliveries all happen in its own partition, so concatenation
+        # (then per-node filtering by the consumer) is order-preserving.
+        "delivery_order": tuple(
+            (msg, node)
+            for report in reports
+            for msg, node in report.get("delivery_order", ())
+        ),
     }
     if sanitize:
         result["timers_started"] = sum(r["timers_started"] for r in reports)
@@ -584,6 +595,13 @@ def merge_reports(
             delivered,
             gave_up,
         )
+        if scenario.ordering is not None:
+            # Fleet-wide total-order agreement: partitions only see their
+            # own subscribers' ready-release prefixes, so the pairwise
+            # identical-prefix invariant is re-proved over the merge.
+            _sanity.check_merged_order_prefixes(
+                [report["sanitizer"] for report in reports]
+            )
     if any("trace" in report for report in reports):
         result["trace"] = sorted(
             (tuple(row) for report in reports for row in report.get("trace", ())),

@@ -21,6 +21,7 @@ import json
 import struct
 from typing import Any, Tuple
 
+from repro.ordering.tags import OrderTag
 from repro.pubsub.messages import AckFrame, PacketFrame
 from repro.util.errors import SimulationError
 from repro.util.validation import require_positive
@@ -70,6 +71,11 @@ class FrameCodec:
                 "sz": frame.size,
                 "pr": frame.priority,
             }
+            # Omitted entirely when absent, so ordering-off runs stay
+            # byte-identical to the pinned golden wire traces.
+            tag = frame.order_tag
+            if tag is not None:
+                envelope["ot"] = tag.to_wire()
         else:
             raise CodecError(f"cannot encode frame of type {type(frame).__name__}")
         payload = json.dumps(
@@ -120,6 +126,11 @@ class FrameCodec:
                     fragments_needed=envelope["fn"],
                     size=envelope["sz"],
                     priority=envelope["pr"],
+                    order_tag=(
+                        OrderTag.from_wire(envelope["ot"])
+                        if "ot" in envelope
+                        else None
+                    ),
                 )
             else:
                 raise CodecError(f"unknown frame kind {kind!r}")

@@ -32,6 +32,7 @@ from repro.live.faults import FaultInjector
 from repro.live.scenarios import AcceptLedger, Scenario, harvest
 from repro.live.transport import LiveTransport
 from repro.metrics.collector import MetricsCollector
+from repro.ordering.plan import OrderingPlan, plan_from_scenario
 from repro.overlay.monitor import LinkMonitor
 from repro.pubsub.broker import BrokerRuntime
 from repro.pubsub.messages import next_message_id, reset_message_ids
@@ -63,6 +64,7 @@ async def _run(
     await transport.start()
     streams = RandomStreams(seed)
     monitor = LinkMonitor(topology, transport, streams, mode="analytic")
+    plan = plan_from_scenario(scenario.ordering)
     ctx = RuntimeContext(
         sim=clock,
         topology=topology,
@@ -72,6 +74,7 @@ async def _run(
         metrics=MetricsCollector(),
         streams=streams,
         params=scenario.params(),
+        ordering=plan,
     )
     strategy = DcrdStrategy(ctx)
     strategy.setup()
@@ -90,13 +93,21 @@ async def _run(
     try:
         try:
             try:
+                if plan is not None:
+                    plan.activate()
                 for _ in range(scenario.publishes):
                     msg_id = next_message_id()
                     ctx.metrics.expect(msg_id, scenario.topic, clock.now, deadlines)
                     strategy.publish(spec, msg_id)
                     await asyncio.sleep(scenario.publish_interval)
-                await _settle(strategy, clock, config)
+                await _settle(strategy, clock, config, plan)
+                # Release any frames still held back (end-of-run "flush")
+                # while the sanitizer is attached, mirroring the sim run.
+                if plan is not None:
+                    plan.flush()
             finally:
+                if plan is not None:
+                    plan.deactivate()
                 _sanity.uninstall()
             if sanitizer is not None:
                 sanitizer.finish(ctx.metrics, clock.now)
@@ -109,22 +120,33 @@ async def _run(
 
 
 async def _settle(
-    strategy: DcrdStrategy, clock: WallClock, config: LiveConfig
+    strategy: DcrdStrategy,
+    clock: WallClock,
+    config: LiveConfig,
+    plan: Optional[OrderingPlan] = None,
 ) -> None:
-    """Wait until every ARQ copy is settled (ACKed or abandoned)."""
+    """Wait until every ARQ copy is settled (ACKed or abandoned).
+
+    With an ordering plan attached, quiescence also requires the
+    hold-back pipelines to be empty — a frame parked behind a gap still
+    has a stall timer pending, so the run has not finished delivering.
+    """
     deadline = clock.now + config.settle_timeout
     stable = 0
     while clock.now < deadline:
-        if strategy.arq.in_flight == 0:
+        held = plan.held_count() if plan is not None else 0
+        if strategy.arq.in_flight == 0 and held == 0:
             stable += 1
             if stable >= _SETTLE_STABLE_POLLS:
                 return
         else:
             stable = 0
         await asyncio.sleep(config.settle_poll)
+    held = plan.held_count() if plan is not None else 0
     raise SimulationError(
         f"live run failed to settle within {config.settle_timeout}s "
-        f"({strategy.arq.in_flight} ARQ copies still in flight)"
+        f"({strategy.arq.in_flight} ARQ copies still in flight, "
+        f"{held} frames held back)"
     )
 
 

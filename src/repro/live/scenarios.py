@@ -33,6 +33,7 @@ from repro import sanity as _sanity
 from repro.core.forwarding import DcrdStrategy
 from repro.live.faults import DropRule, ack_loss_rules, dead_link_rules, link_filter
 from repro.metrics.collector import MetricsCollector
+from repro.ordering.plan import plan_from_scenario
 from repro.overlay.links import OverlayNetwork
 from repro.overlay.monitor import LinkMonitor
 from repro.overlay.topology import Topology, canonical_edge
@@ -66,6 +67,11 @@ class Scenario:
     ack_timeout_factor: float = 3.0
     ack_timeout_slack: float = 0.25
     end_time: float = 20.0
+    # Opt-in delivery-ordering guarantee ("LEVEL[:topic,...]"), threaded
+    # identically through both substrates via plan_from_scenario (which
+    # widens the stall/hold windows past worst-case retransmit recovery
+    # so timing jitter cannot change what a hold-back releases).
+    ordering: Optional[str] = None
 
     def topology(self) -> Topology:
         graph = nx.Graph()
@@ -119,6 +125,7 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
         "ack_timeout_factor": scenario.ack_timeout_factor,
         "ack_timeout_slack": scenario.ack_timeout_slack,
         "end_time": scenario.end_time,
+        "ordering": scenario.ordering,
     }
 
 
@@ -142,6 +149,7 @@ def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
         "ack_timeout_factor",
         "ack_timeout_slack",
         "end_time",
+        "ordering",
     }
     unknown = set(data) - known
     if unknown:
@@ -162,6 +170,7 @@ def scenario_from_dict(data: Dict[str, Any]) -> Scenario:
         ack_timeout_factor=data.get("ack_timeout_factor", 3.0),
         ack_timeout_slack=data.get("ack_timeout_slack", 0.25),
         end_time=data.get("end_time", 20.0),
+        ordering=data.get("ordering"),
     )
 
 
@@ -298,6 +307,9 @@ def harvest(
         "duplicates": metrics.duplicate_count(),
         "max_accepts_per_transfer": ledger.max_accepts_per_transfer,
         "deliveries": tuple(sorted(ledger.deliveries)),
+        # Unsorted arrival order of (msg_id, node) pairs: per-node
+        # subsequences are what the ordering conformance suite compares.
+        "delivery_order": tuple(ledger.deliveries),
         "delays": delays,
         "retransmissions": strategy.arq.retransmissions,
         "abandoned": strategy.abandoned,
@@ -328,6 +340,7 @@ def run_sim_scenario(
         network.install_fault_filter(link_filter(rules))
     monitor = LinkMonitor(topology, network, streams, mode="analytic")
     workload = scenario.workload()
+    plan = plan_from_scenario(scenario.ordering)
     ctx = RuntimeContext(
         sim=sim,
         topology=topology,
@@ -337,6 +350,7 @@ def run_sim_scenario(
         metrics=MetricsCollector(),
         streams=streams,
         params=scenario.params(),
+        ordering=plan,
     )
     strategy = DcrdStrategy(ctx)
     strategy.setup()
@@ -358,8 +372,14 @@ def run_sim_scenario(
     _probes.attach(ledger)
     try:
         try:
+            if plan is not None:
+                plan.activate()
             sim.run(until=scenario.end_time)
+            if plan is not None:
+                plan.flush()
         finally:
+            if plan is not None:
+                plan.deactivate()
             _sanity.uninstall()
         if sanitizer is not None:
             sanitizer.finish(ctx.metrics, sim.now)

@@ -1,0 +1,44 @@
+"""Delivery-semantics layer: opt-in per-topic ordering guarantees.
+
+DCRD (the reproduced protocol) provides reliable, delay-cognizant,
+at-most-once-after-dedup delivery with no ordering promise. This
+package layers three opt-in guarantees on the broker's delivery
+pipeline seam — ``fifo``, ``causal``, and ``total`` — selected with
+``--ordering=LEVEL[:topic,...]`` and identical across the sim, live
+single-process, and multi-process substrates. See docs/ORDERING.md.
+"""
+
+from repro.ordering.clocks import (
+    vc_compare,
+    vc_increment,
+    vc_leq,
+    vc_merge,
+)
+from repro.ordering.pipeline import (
+    CausalPipeline,
+    DeliveryPipeline,
+    FifoPipeline,
+    PassthroughPipeline,
+    TotalOrderPipeline,
+)
+from repro.ordering.plan import OrderingPlan, plan_from_scenario
+from repro.ordering.spec import LEVELS, OrderingSpec, parse_ordering
+from repro.ordering.tags import OrderTag
+
+__all__ = [
+    "LEVELS",
+    "OrderingSpec",
+    "parse_ordering",
+    "OrderTag",
+    "OrderingPlan",
+    "plan_from_scenario",
+    "DeliveryPipeline",
+    "PassthroughPipeline",
+    "FifoPipeline",
+    "CausalPipeline",
+    "TotalOrderPipeline",
+    "vc_merge",
+    "vc_compare",
+    "vc_increment",
+    "vc_leq",
+]

@@ -1,0 +1,79 @@
+"""Pure vector-clock algebra for the causal guarantee.
+
+Clocks are plain ``{stream: count}`` dicts keyed by ``(topic, origin)``
+publication streams (see :mod:`repro.ordering.tags`). Keeping the
+algebra here as free functions — no pipeline state, no side effects —
+makes the merge/compare laws directly checkable by the Hypothesis
+property suite (`tests/ordering/test_clocks.py`).
+
+The clocks are *dynamic*: entries appear when a stream is first
+observed and absent entries read as zero, which is what gives the
+causal pipeline its join/leave semantics under churn (a late joiner is
+simply a clock with missing entries; see docs/ORDERING.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.ordering.tags import Stream
+
+#: Comparison outcomes for :func:`vc_compare`.
+BEFORE = -1
+EQUAL = 0
+AFTER = 1
+CONCURRENT = 2
+
+
+def vc_get(clock: Dict[Stream, int], stream: Stream) -> int:
+    """An entry's count, with absent entries reading as zero."""
+    return clock.get(stream, 0)
+
+
+def vc_increment(clock: Dict[Stream, int], stream: Stream) -> Dict[Stream, int]:
+    """A new clock with *stream* advanced by one tick."""
+    advanced = dict(clock)
+    advanced[stream] = advanced.get(stream, 0) + 1
+    return advanced
+
+
+def vc_merge(*clocks: Dict[Stream, int]) -> Dict[Stream, int]:
+    """The pointwise maximum (least upper bound) of the given clocks."""
+    merged: Dict[Stream, int] = {}
+    for clock in clocks:
+        for stream, count in clock.items():
+            if count > merged.get(stream, 0):
+                merged[stream] = count
+    return merged
+
+
+def vc_leq(left: Dict[Stream, int], right: Dict[Stream, int]) -> bool:
+    """Whether *left* happens-before-or-equals *right* pointwise."""
+    return all(count <= right.get(stream, 0) for stream, count in left.items())
+
+
+def vc_compare(left: Dict[Stream, int], right: Dict[Stream, int]) -> int:
+    """Classify the causal relation between two clocks.
+
+    Returns :data:`BEFORE`, :data:`AFTER`, :data:`EQUAL`, or
+    :data:`CONCURRENT`.
+    """
+    left_leq = vc_leq(left, right)
+    right_leq = vc_leq(right, left)
+    if left_leq and right_leq:
+        return EQUAL
+    if left_leq:
+        return BEFORE
+    if right_leq:
+        return AFTER
+    return CONCURRENT
+
+
+def vc_restrict(
+    clock: Dict[Stream, int], streams: Optional[Iterable[Stream]]
+) -> Dict[Stream, int]:
+    """The clock projected onto *streams* (``None`` keeps everything)."""
+    if streams is None:
+        return dict(clock)
+    keep = set(streams)
+    return {stream: count for stream, count in clock.items() if stream in keep}

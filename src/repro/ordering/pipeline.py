@@ -1,0 +1,497 @@
+"""Hold-back delivery pipelines: the stage between dedup and the app.
+
+:class:`~repro.pubsub.broker.BrokerRuntime` owns at most one pipeline
+per node. With ordering off the broker keeps its historical inlined
+delivery block (one ``is None`` check — the zero-cost passthrough the
+fingerprint matrix pins); with ordering on, every post-dedup locally
+deliverable frame is *offered* here instead, and the pipeline decides
+when the terminal stage (:meth:`BrokerRuntime.deliver_frame`) runs.
+
+Three guarantees, all hold-back based:
+
+* :class:`FifoPipeline` — per-``(topic, publisher)`` sequence hold-back.
+* :class:`CausalPipeline` — dynamic vector clocks over publication
+  streams; unknown streams are waived (join/leave semantics, see
+  docs/ORDERING.md) so the guarantee composes with churn.
+* :class:`TotalOrderPipeline` — EpTO-style agreement: frames sort by a
+  ``(lamport_ts, origin, seq)`` key and release only after aging past a
+  fixed hold window, by which point every smaller-keyed frame has
+  arrived (late stragglers are stall-released out of band).
+
+Every release is observable (probe families ``order_hold`` /
+``order_release`` / ``order_stall``) and carries a *reason*:
+
+* ``ready`` — the guarantee's deliverability rule held; only these
+  releases are invariant-checked by the sanitizer.
+* ``stall`` — the watchdog skipped a gap (or a straggler arrived after
+  its slot); the sanitizer re-baselines instead of flagging.
+* ``flush`` — end-of-run drain of whatever is still held.
+
+The ``repro.sanity.MUTATE_MISSORT_ORDER_RELEASE`` /
+``MUTATE_DROP_ORDER_RELEASE`` flags (PR 3 teeth-test pattern)
+deliberately corrupt the release stream so the mutation smoke tests can
+prove each ordering invariant actually fires; both resolve through
+sanitizer-gated helpers, so unsanitized runs are bit-inert.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro import probes as _probes
+from repro import sanity as _sanity
+from repro.ordering.spec import OrderingSpec
+from repro.ordering.tags import OrderTag, Stream
+from repro.pubsub.messages import PacketFrame
+
+#: Slack when comparing held durations against the stall timeout, so a
+#: timer firing exactly on schedule counts its own frame as overdue.
+_STALL_EPSILON = 1e-9
+
+
+class DeliveryPipeline:
+    """Base stage: passthrough plus the shared hold/release machinery.
+
+    The base class itself is the zero-guarantee passthrough (every offer
+    goes straight to the terminal stage); subclasses override
+    :meth:`_offer_tagged` with a deliverability rule and use
+    :meth:`_hold` / :meth:`_release` for the bookkeeping, probes, and
+    duplicate handling.
+    """
+
+    level = "passthrough"
+
+    def __init__(self, broker, plan) -> None:
+        self._broker = broker
+        self._plan = plan
+        self._spec: OrderingSpec = plan.spec
+        self._node: int = broker.node
+        # The broker's hot-bound clock: ``_now`` reads on both substrates
+        # (sim kernel attribute, WallClock property alias).
+        self._clock = broker._sim
+        self._stall_timeout: float = plan.stall_timeout
+        # msg_id -> held-since time, for every frame currently buffered.
+        self._holding: Dict[int, float] = {}
+        # msg_ids whose primary copy already reached the terminal stage.
+        self._released: Set[int] = set()
+        # Duplicate copies (distinct transfer ids, e.g. multipath) that
+        # arrived while the primary was held: delivered right after it,
+        # preserving the substrate-conformant duplicate counts.
+        self._dup_pending: Dict[int, List[PacketFrame]] = {}
+        self._missort_stash: Optional[Tuple[PacketFrame, OrderTag]] = None
+        self._mutate_streams: Set[Stream] = set()
+        self._closed = False
+        self.offers = 0
+        self.releases = 0
+        self.stall_releases = 0
+
+    # ------------------------------------------------------------------
+    def offer(self, frame: PacketFrame) -> None:
+        """A post-dedup, locally deliverable frame enters the pipeline."""
+        self.offers += 1
+        tag = frame.order_tag
+        if tag is None or not self._spec.covers(frame.topic):
+            # Untagged (published before the plan activated) or an
+            # uncovered topic: the guarantee does not apply.
+            self._broker.deliver_frame(frame)
+            return
+        msg_id = frame.msg_id
+        if msg_id in self._released:
+            # A late duplicate copy of an already-released message: the
+            # terminal stage counts it as the duplicate it is.
+            self._broker.deliver_frame(frame)
+            return
+        if msg_id in self._holding:
+            self._dup_pending.setdefault(msg_id, []).append(frame)
+            return
+        self._offer_tagged(frame, tag)
+
+    def _offer_tagged(self, frame: PacketFrame, tag: OrderTag) -> None:
+        self._release(frame, tag, "ready")
+
+    # ------------------------------------------------------------------
+    def _hold(self, frame: PacketFrame, tag: OrderTag) -> float:
+        """Buffer *frame*; returns the hold timestamp."""
+        now = self._clock._now
+        self._holding[frame.msg_id] = now
+        probe = _probes.on_order_hold
+        if probe is not None:
+            probe(now, self._node, frame, self.level)
+        return now
+
+    def _release(self, frame: PacketFrame, tag: OrderTag, reason: str) -> None:
+        """Run the terminal stage for *frame* (mutations permitting)."""
+        msg_id = frame.msg_id
+        held_since = self._holding.pop(msg_id, None)
+        self._released.add(msg_id)
+        if reason == "ready":
+            # PR 3-style teeth tests: both mutations resolve through
+            # sanitizer-gated helpers, so unsanitized runs are bit-inert
+            # no matter what flags a test leaves behind.
+            if _sanity.MUTATE_DROP_ORDER_RELEASE:
+                # Drop a *mid-stream* release: the first release of a
+                # stream is an invisible drop (the order checks baseline-
+                # adopt it), so wait for a stream to repeat at this node.
+                stream = (frame.topic, tag.origin)
+                if stream in self._mutate_streams:
+                    if _sanity.consume_order_drop():
+                        self._dup_pending.pop(msg_id, None)
+                        return
+                else:
+                    self._mutate_streams.add(stream)
+            if _sanity.missort_order_release_active():
+                stash = self._missort_stash
+                if stash is None:
+                    self._missort_stash = (frame, tag)
+                    return
+                self._missort_stash = None
+                self._emit(frame, tag, reason, held_since)
+                self._emit(stash[0], stash[1], "ready", None)
+                return
+        self._emit(frame, tag, reason, held_since)
+
+    def _emit(
+        self,
+        frame: PacketFrame,
+        tag: OrderTag,
+        reason: str,
+        held_since: Optional[float],
+    ) -> None:
+        now = self._clock._now
+        self.releases += 1
+        if reason == "stall":
+            self.stall_releases += 1
+            stall_probe = _probes.on_order_stall
+            if stall_probe is not None:
+                stall_probe(
+                    now, self._node, self.level, {"msg": frame.msg_id}
+                )
+        held_for = 0.0 if held_since is None else now - held_since
+        probe = _probes.on_order_release
+        if probe is not None:
+            probe(now, self._node, frame, self.level, reason, held_for)
+        self._plan.note_delivery(self._node, frame, tag)
+        self._broker.deliver_frame(frame)
+        dups = self._dup_pending.pop(frame.msg_id, None)
+        if dups:
+            for dup in dups:
+                self._broker.deliver_frame(dup)
+
+    # ------------------------------------------------------------------
+    def held_count(self) -> int:
+        """Frames currently buffered (the cluster quiescence signal)."""
+        return len(self._holding)
+
+    def flush(self) -> None:
+        """End-of-run drain: release everything still held."""
+
+    def close(self) -> None:
+        """Disarm the pipeline; late timer callbacks become no-ops."""
+        self._closed = True
+
+
+PassthroughPipeline = DeliveryPipeline
+
+
+class _FifoStream:
+    """Per-``(topic, publisher)`` hold-back state for the FIFO level."""
+
+    __slots__ = ("next", "heap", "timer_armed")
+
+    def __init__(self) -> None:
+        self.next: Optional[int] = None
+        # Entries: (seq, msg_id, frame, tag, held_since).
+        self.heap: List[Tuple[int, int, PacketFrame, OrderTag, float]] = []
+        self.timer_armed = False
+
+
+class FifoPipeline(DeliveryPipeline):
+    """Per-publisher order: release in publisher sequence per stream.
+
+    The first frame seen on a stream adopts its sequence as the baseline
+    (a subscriber that joins mid-stream must not wait for history it
+    will never get); after that, frame *n+1* releases only after frame
+    *n*. Gaps are buffered until the stall watchdog skips past them.
+    """
+
+    level = "fifo"
+
+    def __init__(self, broker, plan) -> None:
+        super().__init__(broker, plan)
+        self._streams: Dict[Stream, _FifoStream] = {}
+
+    def _offer_tagged(self, frame: PacketFrame, tag: OrderTag) -> None:
+        stream = (frame.topic, tag.origin)
+        state = self._streams.get(stream)
+        if state is None:
+            state = _FifoStream()
+            self._streams[stream] = state
+        if state.next is None:
+            # First frame of the stream at this node: baseline adoption.
+            state.next = tag.seq + 1
+            self._release(frame, tag, "ready")
+            self._drain(state)
+            return
+        if tag.seq == state.next:
+            state.next = tag.seq + 1
+            self._release(frame, tag, "ready")
+            self._drain(state)
+            return
+        if tag.seq < state.next:
+            # Straggler from before a baseline/stall skip: out of order
+            # by construction, so it releases outside the checked flow.
+            self._release(frame, tag, "stall")
+            return
+        held_since = self._hold(frame, tag)
+        heapq.heappush(
+            state.heap, (tag.seq, frame.msg_id, frame, tag, held_since)
+        )
+        self._arm(stream, state)
+
+    def _drain(self, state: _FifoStream) -> None:
+        heap = state.heap
+        while heap and heap[0][0] <= state.next:
+            seq, _, frame, tag, _held = heapq.heappop(heap)
+            if seq == state.next:
+                state.next = seq + 1
+                self._release(frame, tag, "ready")
+            else:
+                self._release(frame, tag, "stall")
+
+    def _arm(self, stream: Stream, state: _FifoStream) -> None:
+        if state.timer_armed or not state.heap:
+            return
+        now = self._clock._now
+        delay = max(0.0, state.heap[0][4] + self._stall_timeout - now)
+        state.timer_armed = True
+        self._clock.schedule(delay, self._stall_fire, stream)
+
+    def _stall_fire(self, stream: Stream) -> None:
+        if self._closed:
+            return
+        state = self._streams.get(stream)
+        if state is None:
+            return
+        state.timer_armed = False
+        heap = state.heap
+        now = self._clock._now
+        timeout = self._stall_timeout
+        while heap and now - heap[0][4] + _STALL_EPSILON >= timeout:
+            seq, _, frame, tag, _held = heapq.heappop(heap)
+            if state.next is not None and seq == state.next:
+                state.next = seq + 1
+                self._release(frame, tag, "ready")
+            else:
+                # Skip the gap: the missing frames are declared lost to
+                # this node; the sanitizer re-baselines on the stall.
+                state.next = seq + 1
+                self._release(frame, tag, "stall")
+            self._drain(state)
+        self._arm(stream, state)
+
+    def flush(self) -> None:
+        for state in self._streams.values():
+            heap = state.heap
+            while heap:
+                seq, _, frame, tag, _held = heapq.heappop(heap)
+                state.next = seq + 1
+                self._release(frame, tag, "flush")
+
+
+class CausalPipeline(DeliveryPipeline):
+    """Causal order via dynamic per-stream vector clocks.
+
+    A frame is deliverable when (a) it is the next in sequence on its
+    own publication stream — or the first frame of a stream this node
+    has ever seen, which adopts the baseline — and (b) every dependency
+    in its vector clock on a stream this node *knows* has already been
+    delivered. Dependencies on unknown streams are waived: that is the
+    dynamic-join semantics that keeps late joiners and churned topics
+    from stalling forever (docs/ORDERING.md discusses the weakening).
+    """
+
+    level = "causal"
+
+    def __init__(self, broker, plan) -> None:
+        super().__init__(broker, plan)
+        # Last delivered sequence per known stream at this node.
+        self._delivered: Dict[Stream, int] = {}
+        # Held entries: (held_since, msg_id, frame, tag).
+        self._pending: List[Tuple[float, int, PacketFrame, OrderTag]] = []
+        self._timer_armed = False
+
+    def _classify(self, frame: PacketFrame, tag: OrderTag) -> str:
+        own = (frame.topic, tag.origin)
+        delivered = self._delivered
+        have = delivered.get(own)
+        if have is not None:
+            if tag.seq <= have:
+                return "late"
+            if tag.seq != have + 1:
+                return "hold"
+        vc = tag.vc
+        if vc:
+            for stream, need in vc.items():
+                if stream == own:
+                    continue
+                seen = delivered.get(stream)
+                if seen is None:
+                    continue
+                if seen < need:
+                    return "hold"
+        return "ready"
+
+    def _note_released(self, frame: PacketFrame, tag: OrderTag) -> None:
+        own = (frame.topic, tag.origin)
+        have = self._delivered.get(own)
+        if have is None or tag.seq > have:
+            self._delivered[own] = tag.seq
+
+    def _offer_tagged(self, frame: PacketFrame, tag: OrderTag) -> None:
+        verdict = self._classify(frame, tag)
+        if verdict == "ready":
+            self._note_released(frame, tag)
+            self._release(frame, tag, "ready")
+            self._cascade()
+            return
+        if verdict == "late":
+            self._release(frame, tag, "stall")
+            return
+        held_since = self._hold(frame, tag)
+        self._pending.append((held_since, frame.msg_id, frame, tag))
+        self._arm()
+
+    def _cascade(self) -> None:
+        """Release newly deliverable held frames until a fixpoint."""
+        progressed = True
+        while progressed and self._pending:
+            progressed = False
+            for index, (_, _, frame, tag) in enumerate(self._pending):
+                verdict = self._classify(frame, tag)
+                if verdict == "ready":
+                    del self._pending[index]
+                    self._note_released(frame, tag)
+                    self._release(frame, tag, "ready")
+                    progressed = True
+                    break
+                if verdict == "late":
+                    del self._pending[index]
+                    self._release(frame, tag, "stall")
+                    progressed = True
+                    break
+
+    def _arm(self) -> None:
+        if self._timer_armed or not self._pending:
+            return
+        now = self._clock._now
+        oldest = min(entry[0] for entry in self._pending)
+        delay = max(0.0, oldest + self._stall_timeout - now)
+        self._timer_armed = True
+        self._clock.schedule(delay, self._stall_fire)
+
+    def _stall_fire(self) -> None:
+        if self._closed:
+            return
+        self._timer_armed = False
+        now = self._clock._now
+        timeout = self._stall_timeout
+        while self._pending:
+            overdue = [
+                entry
+                for entry in self._pending
+                if now - entry[0] + _STALL_EPSILON >= timeout
+            ]
+            if not overdue:
+                break
+            # Force the oldest overdue frame through (deterministic tie
+            # break on msg_id), then let the cascade pick up the rest.
+            victim = min(overdue, key=lambda entry: (entry[0], entry[1]))
+            self._pending.remove(victim)
+            _, _, frame, tag = victim
+            self._note_released(frame, tag)
+            self._release(frame, tag, "stall")
+            self._cascade()
+        self._arm()
+
+    def flush(self) -> None:
+        for _, _, frame, tag in sorted(
+            self._pending, key=lambda entry: (entry[0], entry[1])
+        ):
+            self._note_released(frame, tag)
+            self._release(frame, tag, "flush")
+        self._pending.clear()
+
+
+class TotalOrderPipeline(DeliveryPipeline):
+    """Total order: one agreed delivery sequence per topic set.
+
+    EpTO's structure without the epidemic relay (DCRD's reliable overlay
+    already disseminates every frame): each frame carries a globally
+    comparable ``(lamport_ts, origin, seq)`` key, and a subscriber holds
+    every frame for a fixed agreement window before releasing in key
+    order. By window expiry any smaller-keyed frame has arrived, so all
+    subscribers release the same prefix; a straggler that misses its
+    window (released smaller key already passed) is stall-released out
+    of the agreed sequence rather than re-ordering it.
+    """
+
+    level = "total"
+
+    #: Key type: (lamport timestamp, origin node, per-stream sequence).
+    Key = Tuple[int, int, int]
+
+    def __init__(self, broker, plan) -> None:
+        super().__init__(broker, plan)
+        self._hold_window: float = plan.total_hold
+        # Entries: (key, frame, tag, held_since).
+        self._heap: List[Tuple["TotalOrderPipeline.Key", PacketFrame, OrderTag, float]] = []
+        self._last_key: Optional["TotalOrderPipeline.Key"] = None
+        self._timer_armed = False
+
+    def _offer_tagged(self, frame: PacketFrame, tag: OrderTag) -> None:
+        key = (tag.ts, tag.origin, tag.seq)
+        if self._last_key is not None and key <= self._last_key:
+            # Missed its agreement window: delivering it now in sequence
+            # is impossible, so it leaves the agreed order explicitly.
+            self._release(frame, tag, "stall")
+            return
+        held_since = self._hold(frame, tag)
+        heapq.heappush(self._heap, (key, frame, tag, held_since))
+        self._arm()
+
+    def _arm(self) -> None:
+        if self._timer_armed or not self._heap:
+            return
+        now = self._clock._now
+        delay = max(0.0, self._heap[0][3] + self._hold_window - now)
+        self._timer_armed = True
+        self._clock.schedule(delay, self._round_fire)
+
+    def _round_fire(self) -> None:
+        if self._closed:
+            return
+        self._timer_armed = False
+        heap = self._heap
+        now = self._clock._now
+        window = self._hold_window
+        while heap and now - heap[0][3] + _STALL_EPSILON >= window:
+            key, frame, tag, _held = heapq.heappop(heap)
+            self._last_key = key
+            self._release(frame, tag, "ready")
+        self._arm()
+
+    def flush(self) -> None:
+        heap = self._heap
+        while heap:
+            key, frame, tag, _held = heapq.heappop(heap)
+            self._last_key = key
+            self._release(frame, tag, "flush")
+
+
+#: Level name -> pipeline class, for :meth:`OrderingPlan.pipeline_for`.
+PIPELINES = {
+    FifoPipeline.level: FifoPipeline,
+    CausalPipeline.level: CausalPipeline,
+    TotalOrderPipeline.level: TotalOrderPipeline,
+}

@@ -1,0 +1,180 @@
+"""The per-run ordering plan: stamping state plus the pipeline registry.
+
+One :class:`OrderingPlan` exists per run (or per partition process in
+the multi-process deployment). It owns everything the guarantee needs
+that is *not* per-node:
+
+* the **stamper** — the :data:`repro.pubsub.messages.ORDER_STAMPER`
+  callback that allocates an :class:`~repro.ordering.tags.OrderTag` for
+  every freshly published frame (idempotent per ``msg_id``, so the
+  persistency extension's custody *redelivery* — which re-freshens the
+  same message — reuses the original tag);
+* per-publication-stream sequence counters, per-node observed vector
+  clocks (``causal``), and per-node Lamport clocks (``total``);
+* the registry of per-broker pipelines it has handed out, which gives
+  the run-level :meth:`flush` / :meth:`held_count` /
+  :meth:`perf_counters` surface the runner, live runtime, and cluster
+  coordinator consume.
+
+Tags ride on the frames themselves (and on the wire in live mode), so
+cross-process deployments need no shared stamping state: only the
+partition hosting a publisher ever stamps its messages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ordering.pipeline import PIPELINES, DeliveryPipeline
+from repro.ordering.spec import (
+    DEFAULT_STALL_TIMEOUT,
+    DEFAULT_TOTAL_HOLD,
+    SCENARIO_STALL_TIMEOUT,
+    SCENARIO_TOTAL_HOLD,
+    OrderingSpec,
+    parse_ordering,
+)
+from repro.ordering.tags import OrderTag, Stream
+from repro.pubsub import messages as _messages
+from repro.pubsub.messages import PacketFrame
+
+
+class OrderingPlan:
+    """Run-scoped ordering state for one parsed spec."""
+
+    def __init__(
+        self,
+        spec: OrderingSpec,
+        stall_timeout: float = DEFAULT_STALL_TIMEOUT,
+        total_hold: float = DEFAULT_TOTAL_HOLD,
+    ) -> None:
+        self.spec = spec
+        self.level = spec.level
+        self.stall_timeout = stall_timeout
+        self.total_hold = total_hold
+        # Next publish sequence per (topic, origin) publication stream.
+        self._seqs: Dict[Stream, int] = {}
+        # Idempotent stamp cache: msg_id -> tag (custody redelivery
+        # re-freshens an already-stamped message).
+        self._tags: Dict[int, OrderTag] = {}
+        # Per-node observed vector clock (causal level).
+        self._observed: Dict[int, Dict[Stream, int]] = {}
+        # Per-node Lamport clock (total level).
+        self._lamport: Dict[int, int] = {}
+        self._pipelines: List[DeliveryPipeline] = []
+        self._active = False
+
+    @classmethod
+    def from_text(cls, text: Optional[str], **kwargs) -> Optional["OrderingPlan"]:
+        """Build a plan from config text; ``None``/empty means ordering off."""
+        if not text:
+            return None
+        return cls(parse_ordering(text), **kwargs)
+
+    # ------------------------------------------------------------------
+    def pipeline_for(self, broker) -> DeliveryPipeline:
+        """The per-broker pipeline stage for this plan's level."""
+        pipeline = PIPELINES[self.level](broker, self)
+        self._pipelines.append(pipeline)
+        return pipeline
+
+    # ------------------------------------------------------------------
+    def stamp(self, frame: PacketFrame) -> Optional[OrderTag]:
+        """The ``ORDER_STAMPER`` hook: allocate (or recall) a frame's tag."""
+        cached = self._tags.get(frame.msg_id)
+        if cached is not None:
+            return cached
+        if not self.spec.covers(frame.topic):
+            return None
+        origin = frame.origin
+        stream = (frame.topic, origin)
+        seq = self._seqs.get(stream, 0) + 1
+        self._seqs[stream] = seq
+        vc: Optional[Dict[Stream, int]] = None
+        ts = 0
+        if self.level == "causal":
+            observed = self._observed.setdefault(origin, {})
+            vc = dict(observed)
+            vc[stream] = seq
+            # The publisher observes its own publication.
+            observed[stream] = seq
+        elif self.level == "total":
+            ts = self._lamport.get(origin, 0) + 1
+            self._lamport[origin] = ts
+        tag = OrderTag(origin=origin, seq=seq, vc=vc, ts=ts)
+        self._tags[frame.msg_id] = tag
+        return tag
+
+    def note_delivery(self, node: int, frame: PacketFrame, tag: OrderTag) -> None:
+        """Advance *node*'s clocks after a release (Lamport receive rule,
+        vector-clock merge) so its future publishes carry the causality."""
+        if self.level == "causal":
+            observed = self._observed.setdefault(node, {})
+            stream = (frame.topic, tag.origin)
+            if tag.seq > observed.get(stream, 0):
+                observed[stream] = tag.seq
+            if tag.vc:
+                for dep, count in tag.vc.items():
+                    if count > observed.get(dep, 0):
+                        observed[dep] = count
+        elif self.level == "total":
+            if tag.ts > self._lamport.get(node, 0):
+                self._lamport[node] = tag.ts
+
+    # ------------------------------------------------------------------
+    def activate(self) -> None:
+        """Install this plan's stamper on the publish path."""
+        _messages.set_order_stamper(self.stamp)
+        self._active = True
+
+    def deactivate(self) -> None:
+        """Remove the stamper and disarm every pipeline."""
+        if self._active:
+            _messages.set_order_stamper(None)
+            self._active = False
+        for pipeline in self._pipelines:
+            pipeline.close()
+
+    def flush(self) -> None:
+        """End-of-run drain of every pipeline's hold-back buffer."""
+        for pipeline in self._pipelines:
+            pipeline.flush()
+
+    def held_count(self) -> int:
+        """Frames currently held back across all pipelines."""
+        return sum(pipeline.held_count() for pipeline in self._pipelines)
+
+    def perf_counters(self) -> Dict[str, float]:
+        """``ordering.*`` entries for ``MetricsSummary.perf``."""
+        return {
+            "ordering.offers": float(
+                sum(p.offers for p in self._pipelines)
+            ),
+            "ordering.releases": float(
+                sum(p.releases for p in self._pipelines)
+            ),
+            "ordering.stall_releases": float(
+                sum(p.stall_releases for p in self._pipelines)
+            ),
+            "ordering.held_at_end": float(self.held_count()),
+        }
+
+
+def plan_from_scenario(text: Optional[str]) -> Optional[OrderingPlan]:
+    """The shared scripted-scenario plan builder.
+
+    Every substrate of the three-way conformance matrix — sim, live
+    single-process, multi-process partitions — builds its plan through
+    this one helper, so all three run identical (conservative) hold-back
+    timings: scenario worlds retransmit through multi-second ACK
+    timeouts, and the total-order agreement window must outlast the
+    worst-case recovery or the substrates' agreed prefixes would
+    legitimately diverge.
+    """
+    if not text:
+        return None
+    return OrderingPlan(
+        parse_ordering(text),
+        stall_timeout=SCENARIO_STALL_TIMEOUT,
+        total_hold=SCENARIO_TOTAL_HOLD,
+    )

@@ -72,6 +72,14 @@ bounce              ``(t, node, upstream, copy)`` — §III-D upstream send
 abandon             ``(t, node, frame, subscriber)`` — destination dropped
 custody             ``(t, node, frame, subscriber, action,
                     fresh_transfer)`` — persistency store/redeliver
+order_hold          ``(t, node, frame, level)`` — delivery pipeline
+                    buffered a frame behind an ordering gap
+order_release       ``(t, node, frame, level, reason, held_for)`` — a
+                    held (or immediately deliverable) frame reached the
+                    terminal delivery stage; ``reason`` is ``ready`` /
+                    ``stall`` / ``flush``
+order_stall         ``(t, node, level, info)`` — the hold-back watchdog
+                    skipped a gap or a straggler missed its slot
 table_solved        ``(table) -> table`` — **filter family**: handlers
                     may substitute the table (``None`` = unchanged)
 ==================  =====================================================
@@ -109,6 +117,9 @@ FAMILIES: Tuple[str, ...] = (
     "bounce",
     "abandon",
     "custody",
+    "order_hold",
+    "order_release",
+    "order_stall",
     "table_solved",
 )
 
@@ -145,6 +156,9 @@ on_failover: Optional[Callable[..., Any]] = None
 on_bounce: Optional[Callable[..., Any]] = None
 on_abandon: Optional[Callable[..., Any]] = None
 on_custody: Optional[Callable[..., Any]] = None
+on_order_hold: Optional[Callable[..., Any]] = None
+on_order_release: Optional[Callable[..., Any]] = None
+on_order_stall: Optional[Callable[..., Any]] = None
 on_table_solved: Optional[Callable[..., Any]] = None
 
 

@@ -82,6 +82,14 @@ class BrokerRuntime:
         self._subindex = ctx.workload.index()
         # Precomputed singleton for the destination-stripping difference.
         self._self_set = frozenset((node,))
+        # Delivery pipeline seam: with an ordering plan on the context,
+        # post-dedup locally deliverable frames are offered to a per-node
+        # hold-back pipeline instead of the inlined terminal stage. The
+        # ordering-off default is ``None`` — one slot load and an
+        # ``is None`` check on the delivery path, the zero-cost
+        # passthrough the fingerprint matrix pins.
+        plan = getattr(ctx, "ordering", None)
+        self._pipeline = plan.pipeline_for(self) if plan is not None else None
         self.frames_received = 0
         self.duplicates_suppressed = 0
         self.local_deliveries = 0
@@ -158,17 +166,21 @@ class BrokerRuntime:
                 and node in members
                 and (frame.fragments_needed <= 0 or self._decodable(frame))
             ):
-                first = self._metrics.record_delivery(
-                    frame.msg_id,
-                    node,
-                    self._sim._now,
-                    len(frame.routing_path),
-                )
-                if first:
-                    self.local_deliveries += 1
-                    probe = _probes.on_deliver
-                    if probe is not None:
-                        probe(self._sim._now, node, frame)
+                pipeline = self._pipeline
+                if pipeline is not None:
+                    pipeline.offer(frame)
+                else:
+                    first = self._metrics.record_delivery(
+                        frame.msg_id,
+                        node,
+                        self._sim._now,
+                        len(frame.routing_path),
+                    )
+                    if first:
+                        self.local_deliveries += 1
+                        probe = _probes.on_deliver
+                        if probe is not None:
+                            probe(self._sim._now, node, frame)
             destinations = destinations - self._self_set
             if not destinations:
                 return
@@ -176,6 +188,28 @@ class BrokerRuntime:
         elif not destinations:
             return
         self._handle_data(node, sender, frame)
+
+    def deliver_frame(self, frame: PacketFrame) -> bool:
+        """Terminal delivery stage: metrics + ``deliver`` probe.
+
+        The ordering-off path keeps this logic inlined in
+        :meth:`on_frame` (the historical hot block); delivery pipelines
+        call it when a held or passthrough frame is finally released.
+        Returns whether this was the first delivery of its
+        (message, subscriber) pair.
+        """
+        first = self._metrics.record_delivery(
+            frame.msg_id,
+            self.node,
+            self._sim._now,
+            len(frame.routing_path),
+        )
+        if first:
+            self.local_deliveries += 1
+            probe = _probes.on_deliver
+            if probe is not None:
+                probe(self._sim._now, self.node, frame)
+        return first
 
     def _decodable(self, frame: PacketFrame) -> bool:
         """Whether the message is complete once *frame* has arrived."""

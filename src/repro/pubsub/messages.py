@@ -58,6 +58,23 @@ def reset_message_ids() -> None:
     _transfer_counter = itertools.count(1)
 
 
+# ---------------------------------------------------------------------------
+# Ordering stamper hook. Mirrors the probe-slot discipline: ``None`` by
+# default, so the ordering-off publish path pays one module-attribute load
+# and one ``is None`` check — the same footprint class the fingerprint
+# suite pins for probe sites. When an OrderingPlan activates, its stamper
+# is installed here and every fresh frame gets an
+# :class:`repro.ordering.tags.OrderTag` before the publish probe fires.
+# ---------------------------------------------------------------------------
+ORDER_STAMPER = None
+
+
+def set_order_stamper(stamper) -> None:
+    """Install (or with ``None`` remove) the publish-time order stamper."""
+    global ORDER_STAMPER
+    ORDER_STAMPER = stamper
+
+
 class PacketFrame:
     """One copy of a published message in flight between two brokers.
 
@@ -101,6 +118,13 @@ class PacketFrame:
         virtual time of the copy's earliest destination deadline (lower =
         more urgent). ``inf`` (the default) means "no deadline known";
         FIFO links ignore this field entirely.
+    order_tag:
+        Delivery-ordering metadata stamped at publish time when an
+        ordering plan is active (``None`` otherwise — the default for
+        every ordering-off run). Shared by all copies of a message and
+        excluded from ``_key()``: equality/dedup semantics are about the
+        copy's wire identity, which the tag (a pure function of
+        ``msg_id``) does not change.
 
     Instances are immutable by convention: every mutation-shaped operation
     (:meth:`forwarded`, :meth:`with_destinations`) returns a new frame.
@@ -120,6 +144,7 @@ class PacketFrame:
         "fragments_needed",
         "size",
         "priority",
+        "order_tag",
     )
 
     def __init__(
@@ -137,6 +162,7 @@ class PacketFrame:
         size: float = 1.0,
         priority: float = _INF,
         _path_set: Optional[FrozenSet[int]] = None,
+        order_tag=None,
     ) -> None:
         self.msg_id = msg_id
         self.transfer_id = transfer_id
@@ -151,6 +177,7 @@ class PacketFrame:
         self.fragments_needed = fragments_needed
         self.size = size
         self.priority = priority
+        self.order_tag = order_tag
 
     @staticmethod
     def fresh(
@@ -181,6 +208,9 @@ class PacketFrame:
             size,
             priority,
         )
+        stamper = ORDER_STAMPER
+        if stamper is not None:
+            frame.order_tag = stamper(frame)
         probe = _probes.on_publish
         if probe is not None:
             probe(frame)
@@ -215,6 +245,7 @@ class PacketFrame:
         copy.fragments_needed = self.fragments_needed
         copy.size = self.size
         copy.priority = self.priority if priority is None else priority
+        copy.order_tag = self.order_tag
         probe = _probes.on_fork
         if probe is not None:
             probe(self.transfer_id, copy.transfer_id)
@@ -241,6 +272,7 @@ class PacketFrame:
         copy.fragments_needed = self.fragments_needed
         copy.size = self.size
         copy.priority = self.priority
+        copy.order_tag = self.order_tag
         return copy
 
     def visited(self, node: int) -> bool:

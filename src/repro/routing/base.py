@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.metrics.collector import MetricsCollector
 from repro.overlay.links import OverlayNetwork
@@ -82,6 +82,10 @@ class RuntimeContext:
     metrics: MetricsCollector
     streams: RandomStreams
     params: ProtocolParams = field(default_factory=ProtocolParams)
+    #: The run's :class:`~repro.ordering.plan.OrderingPlan`, or ``None``
+    #: (the default — ordering off). Broker runtimes read it to decide
+    #: whether local deliveries flow through a hold-back pipeline.
+    ordering: Any = None
 
 
 class RoutingStrategy(abc.ABC):

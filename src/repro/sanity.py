@@ -41,7 +41,27 @@ TIMER_ORPHAN          a due ARQ timer never settled (end-of-run check)
 SENDING_LIST_ORDER    a solved sending list violates Theorem 1 d/r order
 CONSERVATION          published != delivered + dropped + expired +
                       stranded (end-of-run check, itemised)
+ORDER_FIFO_GAP        a ``fifo`` pipeline ready-released out of
+                      per-publisher sequence at one subscriber
+ORDER_CAUSAL_PRECEDENCE  a ``causal`` ready release preceded a message it
+                      causally depends on (own-stream gap or an
+                      undelivered known-stream dependency)
+ORDER_TOTAL_INVERSION a ``total`` ready release went backwards in the
+                      agreed ``(ts, origin, seq)`` key order at one node
+ORDER_TOTAL_PREFIX    two subscribers of one topic ready-released their
+                      *common* messages in different orders or under
+                      different agreement keys (end-of-run check; holes
+                      from stalls/give-ups are legitimate)
+ORDER_HOLD_LEAK       a hold-back pipeline buffered a frame and never
+                      released it — a silently swallowed delivery
+                      (end-of-run check, after the runners' flush)
 ====================  ====================================================
+
+The ordering checks consume the ``order_release`` probe family emitted by
+the delivery pipelines (:mod:`repro.ordering.pipeline`). Only
+``reason == "ready"`` releases are held to the guarantee; ``stall`` and
+``flush`` releases re-baseline the per-node expectation instead — the
+watchdog explicitly took those frames out of the guaranteed flow.
 
 The end-of-run checks run in :meth:`Sanitizer.finish`; totals surface as
 ``sanity.*`` perf counters through ``MetricsSummary.perf``.
@@ -78,6 +98,33 @@ MUTATE_MISSORT_SENDING_LIST = False
 #: Skip the ARQ timer cancellation on ACK, leaking timers that the
 #: end-of-run orphan check must flag.
 MUTATE_SKIP_TIMER_CANCEL = False
+#: Swap consecutive ordering-pipeline ``ready`` releases at the first
+#: node that produces two, so the per-guarantee order checks must fire.
+#: Consulted through :func:`missort_order_release_active`, which gates on
+#: an installed sanitizer — unsanitized runs are bit-inert.
+MUTATE_MISSORT_ORDER_RELEASE = False
+#: Silently swallow one ordering-pipeline ``ready`` release — claimed
+#: through :func:`consume_order_drop` (one-shot, sanitizer-gated). The
+#: second release of whichever stream *repeats* first at one node is
+#: dropped — a genuinely mid-stream hole — so the mutation can never
+#: hide behind the order checks' first-release baseline adoption, and
+#: only one node diverges (a symmetric drop would keep total-order
+#: prefixes identical).
+MUTATE_DROP_ORDER_RELEASE = False
+
+
+def missort_order_release_active() -> bool:
+    """Whether the release-missort mutation applies (sanitized runs only)."""
+    return ACTIVE is not None and MUTATE_MISSORT_ORDER_RELEASE
+
+
+def consume_order_drop() -> bool:
+    """Claim the one-shot release-drop mutation (sanitized runs only)."""
+    global MUTATE_DROP_ORDER_RELEASE
+    if ACTIVE is None or not MUTATE_DROP_ORDER_RELEASE:
+        return False
+    MUTATE_DROP_ORDER_RELEASE = False
+    return True
 
 # Violation kinds.
 EVENT_ORDER = "event_order"
@@ -89,6 +136,11 @@ TIMER_DOUBLE_SETTLE = "timer_double_settle"
 TIMER_ORPHAN = "timer_orphan"
 SENDING_LIST_ORDER = "sending_list_order"
 CONSERVATION = "conservation"
+ORDER_FIFO_GAP = "order_fifo_gap"
+ORDER_CAUSAL_PRECEDENCE = "order_causal_precedence"
+ORDER_TOTAL_INVERSION = "order_total_inversion"
+ORDER_TOTAL_PREFIX = "order_total_prefix"
+ORDER_HOLD_LEAK = "order_hold_leak"
 
 # Timer settlement states.
 _PENDING = 0
@@ -213,6 +265,24 @@ class Sanitizer:
         # (msg_id, subscriber) pairs a strategy took into explicit custody
         # (e.g. the persistency store) instead of giving up on.
         self._custody: Set[Tuple[int, int]] = set()
+        # Ordering-guarantee state (fed by the order_hold/order_release
+        # families).
+        self.order_releases = 0
+        self.order_stalls = 0
+        # (node, msg) pairs currently buffered by a hold-back pipeline;
+        # anything still here after the end-of-run flush is a release
+        # that was silently swallowed (ORDER_HOLD_LEAK).
+        self._order_held: Dict[Tuple[int, int], Any] = {}
+        # (node, topic, origin) -> next expected fifo sequence.
+        self._order_fifo_next: Dict[Tuple[int, int, int], int] = {}
+        # node -> {(topic, origin) stream: last delivered seq} (causal).
+        self._order_causal: Dict[int, Dict[Tuple[int, int], int]] = {}
+        # (node, topic) -> last ready-released total-order key.
+        self._order_total_last: Dict[Tuple[int, int], Tuple[int, int, int]] = {}
+        # topic -> node -> ready-released (total-order key, msg) sequence.
+        self._order_prefix: Dict[
+            int, Dict[int, List[Tuple[Tuple[int, int, int], int]]]
+        ] = {}
         # End-of-run conservation partition, filled by finish().
         self.pair_counts: Dict[str, int] = {}
 
@@ -236,6 +306,9 @@ class Sanitizer:
             "timer_fired": self.on_timer_fired,
             "table_solved": self.checked_table,
             "custody": self._probe_custody,
+            "order_hold": self._probe_order_hold,
+            "order_release": self._probe_order_release,
+            "order_stall": self._probe_order_stall,
         }
 
     def _probe_transmit(
@@ -534,6 +607,169 @@ class Sanitizer:
                 previous = key
 
     # ------------------------------------------------------------------
+    # Ordering pipelines (ordering/pipeline.py)
+    # ------------------------------------------------------------------
+    def _probe_order_hold(
+        self, t: float, node: int, frame: Any, level: str
+    ) -> None:
+        """A delivery pipeline buffered *frame* at *node*."""
+        self._order_held[(node, frame.msg_id)] = frame
+
+    def _probe_order_release(
+        self,
+        t: float,
+        node: int,
+        frame: Any,
+        level: str,
+        reason: str,
+        held_for: float,
+    ) -> None:
+        """A delivery pipeline released *frame* at *node*."""
+        self.order_releases += 1
+        self._order_held.pop((node, frame.msg_id), None)
+        tag = getattr(frame, "order_tag", None)
+        if tag is None:
+            return
+        if level == "fifo":
+            self._check_order_fifo(node, frame, tag, reason)
+        elif level == "causal":
+            self._check_order_causal(node, frame, tag, reason)
+        elif level == "total":
+            self._check_order_total(node, frame, tag, reason)
+
+    def _probe_order_stall(
+        self, t: float, node: int, level: str, info: Any
+    ) -> None:
+        self.order_stalls += 1
+
+    def _check_order_fifo(
+        self, node: int, frame: Any, tag: Any, reason: str
+    ) -> None:
+        """Gap-freedom: ready releases walk the publisher sequence 1-by-1.
+
+        The first release of a stream at a node adopts its sequence as
+        the baseline (mid-stream joiners own no history); ``stall`` and
+        ``flush`` releases re-baseline instead of being checked.
+        """
+        key = (node, frame.topic, tag.origin)
+        expected = self._order_fifo_next.get(key)
+        if reason == "ready":
+            if expected is not None and tag.seq != expected:
+                self._violate(
+                    ORDER_FIFO_GAP,
+                    f"fifo release at broker {node} jumped to seq {tag.seq} "
+                    f"of stream (topic={frame.topic}, origin={tag.origin}); "
+                    f"expected seq {expected}",
+                    frames=(frame,),
+                    node=node,
+                    topic=frame.topic,
+                    origin=tag.origin,
+                    seq=tag.seq,
+                    expected=expected,
+                )
+            self._order_fifo_next[key] = tag.seq + 1
+        elif expected is None or tag.seq + 1 > expected:
+            self._order_fifo_next[key] = tag.seq + 1
+
+    def _check_order_causal(
+        self, node: int, frame: Any, tag: Any, reason: str
+    ) -> None:
+        """Precedence-respected: no ready release before its causes.
+
+        Mirrors the pipeline's dynamic-join semantics exactly: a
+        dependency on a stream this node has never delivered from is
+        waived, and the first release of a stream adopts the baseline.
+        """
+        stream = (frame.topic, tag.origin)
+        delivered = self._order_causal.setdefault(node, {})
+        have = delivered.get(stream)
+        if reason == "ready":
+            if have is not None and tag.seq != have + 1:
+                self._violate(
+                    ORDER_CAUSAL_PRECEDENCE,
+                    f"causal release at broker {node} delivered seq "
+                    f"{tag.seq} of stream (topic={frame.topic}, "
+                    f"origin={tag.origin}) after seq {have}",
+                    frames=(frame,),
+                    node=node,
+                    topic=frame.topic,
+                    origin=tag.origin,
+                    seq=tag.seq,
+                    last_delivered=have,
+                )
+            if tag.vc:
+                for dep, need in tag.vc.items():
+                    if dep == stream:
+                        continue
+                    seen = delivered.get(dep)
+                    if seen is not None and seen < need:
+                        self._violate(
+                            ORDER_CAUSAL_PRECEDENCE,
+                            f"causal release at broker {node} depends on "
+                            f"seq {need} of stream {dep} but only "
+                            f"{seen} was delivered",
+                            frames=(frame,),
+                            node=node,
+                            dependency_stream=dep,
+                            needed=need,
+                            seen=seen,
+                        )
+        if have is None or tag.seq > have:
+            delivered[stream] = tag.seq
+
+    def _check_order_total(
+        self, node: int, frame: Any, tag: Any, reason: str
+    ) -> None:
+        """Agreed-sequence monotonicity plus the per-topic prefix ledger.
+
+        ``stall``/``flush`` releases left the agreed order on purpose;
+        they neither advance the node's key watermark nor enter its
+        prefix — the end-of-run prefix comparison is over ready releases
+        only.
+        """
+        if reason != "ready":
+            return
+        key = (tag.ts, tag.origin, tag.seq)
+        watermark = (node, frame.topic)
+        last = self._order_total_last.get(watermark)
+        if last is not None and key <= last:
+            self._violate(
+                ORDER_TOTAL_INVERSION,
+                f"total-order release at broker {node} went backwards: "
+                f"key {key} after {last} on topic {frame.topic}",
+                frames=(frame,),
+                node=node,
+                topic=frame.topic,
+                key=key,
+                previous=last,
+            )
+        self._order_total_last[watermark] = key
+        self._order_prefix.setdefault(frame.topic, {}).setdefault(
+            node, []
+        ).append((key, frame.msg_id))
+
+    def _check_order_prefixes(self) -> None:
+        """Subscribers agree on order and keys of common ready releases."""
+        _compare_prefix_map(self._order_prefix, self._violate)
+
+    def _check_order_hold_leaks(self) -> None:
+        """Hold/release pairing: runners flush pipelines before the
+        end-of-run checks, so every buffered frame must have released by
+        now (``ready``, ``stall`` or ``flush``) — a leftover hold is a
+        delivery the pipeline silently swallowed."""
+        if self._order_held:
+            (node, msg), frame = sorted(self._order_held.items())[0]
+            self._violate(
+                ORDER_HOLD_LEAK,
+                f"{len(self._order_held)} hold-back frame(s) were never "
+                f"released; first: msg {msg} held at broker {node}",
+                frames=(frame,),
+                leaked=len(self._order_held),
+                node=node,
+                msg=msg,
+            )
+
+    # ------------------------------------------------------------------
     # Strategy custody (extensions/persistence.py)
     # ------------------------------------------------------------------
     def on_pair_custody(self, msg_id: int, subscriber: int) -> None:
@@ -557,16 +793,23 @@ class Sanitizer:
         """
         self._check_timer_orphans(now)
         self._check_conservation(metrics)
+        self._check_order_prefixes()
+        self._check_order_hold_leaks()
 
     def finish_partition(self, now: float) -> None:
         """End-of-run checks that are sound within one partition.
 
         Timer settlement is purely local (every ARQ timer starts and
         settles in the process that armed it), so the orphan check runs
-        here; conservation needs the whole fleet's ledgers and is
-        deferred to :func:`check_merged_conservation` at the coordinator.
+        here, as does the total-order prefix agreement between this
+        partition's own subscribers; conservation (and the cross-
+        partition prefix comparison) needs the whole fleet's ledgers and
+        is deferred to :func:`check_merged_conservation` /
+        :func:`check_merged_order_prefixes` at the coordinator.
         """
         self._check_timer_orphans(now)
+        self._check_order_prefixes()
+        self._check_order_hold_leaks()
 
     def export_partition(self) -> Dict[str, Any]:
         """JSON-safe snapshot of this partition's conservation ledgers.
@@ -590,6 +833,14 @@ class Sanitizer:
             ],
             "custody": sorted(list(pair) for pair in self._custody),
             "losses_by_cause": dict(self.losses_by_cause),
+            # Ready-release total-order sequences, flattened to
+            # [ts, origin, seq, msg] rows so the snapshot survives a
+            # JSON control-channel round trip.
+            "order_prefixes": [
+                [topic, node, [[*key, msg] for key, msg in entries]]
+                for topic, by_node in sorted(self._order_prefix.items())
+                for node, entries in sorted(by_node.items())
+            ],
         }
 
     def _check_timer_orphans(self, now: float) -> None:
@@ -699,6 +950,8 @@ class Sanitizer:
             "sanity.timers_started": float(self.timers_started),
             "sanity.timers_settled": float(self.timers_settled),
             "sanity.tables_checked": float(self.tables_checked),
+            "sanity.order_releases": float(self.order_releases),
+            "sanity.order_stalls": float(self.order_stalls),
             "sanity.violations": float(self.violations),
         }
         for category, count in self.pair_counts.items():
@@ -783,6 +1036,65 @@ def check_merged_conservation(
     ]
     merged._check_conservation(_MergedMetrics(outcomes))
     return dict(merged.pair_counts)
+
+
+def _compare_prefix_map(
+    prefix_map: Dict[int, Dict[int, List[Tuple[Tuple[int, int, int], int]]]],
+    violate: Any,
+) -> None:
+    """Pairwise agreement over per-node ready ``(key, msg)`` sequences.
+
+    Restricted to the messages *both* subscribers ready-released: holes
+    are legitimate (a stall-released straggler, a given-up pair, an
+    end-of-run cutoff never enter a node's ready sequence — and a
+    silently swallowed delivery is frame *conservation*'s job to catch),
+    but the common messages must carry identical agreement keys and
+    appear in the identical relative order on every subscriber.
+    """
+    for topic, by_node in sorted(prefix_map.items()):
+        nodes = sorted(by_node)
+        for index, first in enumerate(nodes):
+            for second in nodes[index + 1 :]:
+                shared = {msg for _, msg in by_node[first]} & {
+                    msg for _, msg in by_node[second]
+                }
+                left = [e for e in by_node[first] if e[1] in shared]
+                right = [e for e in by_node[second] if e[1] in shared]
+                for position, (a, b) in enumerate(zip(left, right)):
+                    if a != b:
+                        violate(
+                            ORDER_TOTAL_PREFIX,
+                            f"total-order sequences diverge on topic "
+                            f"{topic}: broker {first} released "
+                            f"key={a[0]} msg={a[1]} at common position "
+                            f"{position} while broker {second} released "
+                            f"key={b[0]} msg={b[1]}",
+                            topic=topic,
+                            nodes=(first, second),
+                            position=position,
+                            keys=(a, b),
+                        )
+
+
+def check_merged_order_prefixes(partitions: Any) -> None:
+    """Fleet-wide total-order prefix agreement at the coordinator.
+
+    Merges the per-partition ``order_prefixes`` exports (each node's
+    ready-release sequence lives wholly in the partition hosting it)
+    and re-runs the pairwise common-message comparison across the whole
+    fleet. Raises :class:`InvariantViolation` on divergence.
+    """
+    merged: Dict[int, Dict[int, List[Tuple[Tuple[int, int, int], int]]]] = {}
+    for part in partitions:
+        for topic, node, rows in part.get("order_prefixes", ()):
+            merged.setdefault(topic, {})[node] = [
+                (tuple(row[:3]), row[3]) for row in rows
+            ]
+
+    def violate(kind: str, message: str, **details: Any) -> None:
+        raise InvariantViolation(kind, message, details=details)
+
+    _compare_prefix_map(merged, violate)
 
 
 def _missort_table(table: Any) -> Any:

@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import MetricsSummary, summarize
+from repro.ordering.plan import OrderingPlan
 from repro.overlay.failures import FailureSchedule
 from repro.overlay.links import OverlayNetwork
 from repro.overlay.monitor import LinkMonitor
@@ -77,6 +78,7 @@ class PubSubSystem:
         m: int = 1,
         ack_timeout_factor: float = 2.0,
         monitor_period: float = 300.0,
+        ordering: Optional[str] = None,
     ) -> None:
         # Imported here to avoid a cycle (runner imports strategies which
         # import the routing base this module also uses).
@@ -101,6 +103,11 @@ class PubSubSystem:
         self.metrics = MetricsCollector()
         self.metrics.add_observer(self._on_delivery)
         self.workload = Workload(topics=[])
+        # Embedded systems stay alive indefinitely, so the plan's stamper
+        # is activated for the system's whole lifetime; call close() (or
+        # rely on a fresh system replacing the module-level stamper) when
+        # the system is done.
+        self.ordering = OrderingPlan.from_text(ordering)
         self.ctx = RuntimeContext(
             sim=self.sim,
             topology=topology,
@@ -110,7 +117,10 @@ class PubSubSystem:
             metrics=self.metrics,
             streams=self.streams,
             params=ProtocolParams(m=m, ack_timeout_factor=ack_timeout_factor),
+            ordering=self.ordering,
         )
+        if self.ordering is not None:
+            self.ordering.activate()
         self.strategy: RoutingStrategy = STRATEGIES[strategy](self.ctx)
         self.brokers = [BrokerRuntime(n, self.ctx, self.strategy) for n in topology.nodes]
 
@@ -224,6 +234,12 @@ class PubSubSystem:
     def run(self, until: Optional[float] = None) -> None:
         """Advance virtual time (drains the queue when *until* is None)."""
         self.sim.run(until=until)
+
+    def close(self) -> None:
+        """Flush hold-back state and release the ordering stamper hook."""
+        if self.ordering is not None:
+            self.ordering.flush()
+            self.ordering.deactivate()
 
     def summary(self) -> MetricsSummary:
         """Aggregate delivery metrics so far."""

@@ -41,6 +41,12 @@ expire          the EDF overload policy discarded a queued copy
 abandon         the strategy gave a destination up
 custody         the persistency store took a pair into custody or forked
                 a fresh redelivery copy from the stored frame
+order_hold      a delivery pipeline buffered a frame behind an ordering
+                gap (info: guarantee level)
+order_release   a pipeline released a frame to the terminal delivery
+                stage (info: level, reason, hold-back latency)
+order_stall     the hold-back watchdog skipped a gap / flagged a
+                straggler (info: level plus pipeline-specific facts)
 ==============  =========================================================
 
 On top of the raw stream, :meth:`FrameTracer.journey` reconstructs the
@@ -102,6 +108,9 @@ BOUNCE = "bounce"
 EXPIRE = "expire"
 ABANDON = "abandon"
 CUSTODY = "custody"
+ORDER_HOLD = "order_hold"
+ORDER_RELEASE = "order_release"
+ORDER_STALL = "order_stall"
 
 #: Default ring-buffer capacity (events). Large enough for every test and
 #: CLI-scale run; overflowing runs keep the newest events and count the
@@ -553,6 +562,46 @@ class FrameTracer:
             t, CUSTODY, frame.msg_id, frame.transfer_id, node, info=info
         )
 
+    # -- ordering pipelines (ordering/pipeline.py) ----------------------
+    def on_order_hold(self, t: float, node: int, frame: Any, level: str) -> None:
+        """A delivery pipeline buffered a frame behind an ordering gap."""
+        self._record(
+            t, ORDER_HOLD, frame.msg_id, frame.transfer_id, node,
+            info={"level": level},
+        )
+
+    def on_order_release(
+        self,
+        t: float,
+        node: int,
+        frame: Any,
+        level: str,
+        reason: str,
+        held_for: float,
+    ) -> None:
+        """A pipeline released a frame to the terminal delivery stage.
+
+        ``held`` (recorded only when the frame actually waited) is the
+        hold-back latency — the tracer's visibility into what the
+        guarantee cost this delivery; :meth:`holdback_latencies`
+        aggregates it per delivered pair.
+        """
+        info: Dict[str, Any] = {"level": level, "reason": reason}
+        if held_for > 0.0:
+            info["held"] = held_for
+        self._record(
+            t, ORDER_RELEASE, frame.msg_id, frame.transfer_id, node, info=info
+        )
+
+    def on_order_stall(
+        self, t: float, node: int, level: str, info: Any
+    ) -> None:
+        """The hold-back watchdog skipped a gap or flagged a straggler."""
+        payload: Dict[str, Any] = {"level": level}
+        if info:
+            payload.update(info)
+        self._record(t, ORDER_STALL, -1, -1, node, info=payload)
+
     # ------------------------------------------------------------------
     # Raw access
     # ------------------------------------------------------------------
@@ -785,6 +834,24 @@ class FrameTracer:
             timeout_wait=timeout_wait,
             retransmission=retransmission,
         )
+
+    def holdback_latencies(self) -> Dict[Tuple[int, int], float]:
+        """Hold-back wait per released (msg, node) pair, in virtual time.
+
+        Zero-wait releases (frames that were immediately deliverable)
+        appear with ``0.0``, so the mapping doubles as the set of
+        pipeline-released pairs; pairs delivered outside a pipeline
+        (ordering off, uncovered topics) are absent.
+        """
+        latencies: Dict[Tuple[int, int], float] = {}
+        for event in self._events:
+            if event.kind != ORDER_RELEASE:
+                continue
+            info = event.info or {}
+            pair = (event.msg, event.node)
+            if pair not in latencies:
+                latencies[pair] = float(info.get("held", 0.0))
+        return latencies
 
     def retransmission_tree(self, msg_id: int) -> List[Dict[str, Any]]:
         """The copy tree of one message, as nested dicts.

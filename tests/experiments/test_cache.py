@@ -42,6 +42,7 @@ FIELD_VARIANTS = {
     "deadline_factor_choices": (2.0, 4.0),
     "m": 2,
     "ack_timeout_factor": 3.0,
+    "ordering": "fifo",
     "monitor_period": 150.0,
     "monitor_mode": "sampled",
     "duration": 8.0,

@@ -1,0 +1,121 @@
+"""Hypothesis property suite for the vector-clock algebra.
+
+The causal pipeline's correctness rests on the merge/compare laws of
+:mod:`repro.ordering.clocks`; checking them as algebraic properties over
+arbitrary dynamic clocks (absent entries read as zero) covers the churn
+cases — missing streams, late joiners — that example-based tests miss.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.ordering.clocks import (
+    AFTER,
+    BEFORE,
+    CONCURRENT,
+    EQUAL,
+    vc_compare,
+    vc_get,
+    vc_increment,
+    vc_leq,
+    vc_merge,
+    vc_restrict,
+)
+
+streams = st.tuples(
+    st.integers(min_value=0, max_value=3), st.integers(min_value=0, max_value=3)
+)
+
+clocks = st.dictionaries(
+    streams, st.integers(min_value=1, max_value=50), max_size=8
+)
+
+
+@given(left=clocks, right=clocks)
+def test_merge_is_an_upper_bound(left, right):
+    merged = vc_merge(left, right)
+    assert vc_leq(left, merged)
+    assert vc_leq(right, merged)
+
+
+@given(left=clocks, right=clocks)
+def test_merge_is_the_least_upper_bound(left, right):
+    merged = vc_merge(left, right)
+    for stream in set(left) | set(right):
+        assert vc_get(merged, stream) == max(
+            vc_get(left, stream), vc_get(right, stream)
+        )
+
+
+@given(left=clocks, right=clocks)
+def test_merge_is_commutative(left, right):
+    assert vc_merge(left, right) == vc_merge(right, left)
+
+
+@given(a=clocks, b=clocks, c=clocks)
+def test_merge_is_associative(a, b, c):
+    assert vc_merge(vc_merge(a, b), c) == vc_merge(a, vc_merge(b, c))
+
+
+@given(clock=clocks)
+def test_merge_is_idempotent(clock):
+    assert vc_merge(clock, clock) == vc_merge(clock)
+
+
+@given(clock=clocks, stream=streams)
+def test_increment_strictly_advances_only_its_stream(clock, stream):
+    advanced = vc_increment(clock, stream)
+    assert advanced is not clock  # pure: the input is untouched
+    assert vc_get(advanced, stream) == vc_get(clock, stream) + 1
+    for other in set(clock) - {stream}:
+        assert vc_get(advanced, other) == vc_get(clock, other)
+    assert vc_compare(clock, advanced) in (BEFORE, EQUAL) and vc_leq(
+        clock, advanced
+    )
+
+
+@given(left=clocks, right=clocks)
+def test_compare_is_antisymmetric(left, right):
+    relation = vc_compare(left, right)
+    reverse = vc_compare(right, left)
+    expected = {
+        BEFORE: AFTER,
+        AFTER: BEFORE,
+        EQUAL: EQUAL,
+        CONCURRENT: CONCURRENT,
+    }[relation]
+    assert reverse == expected
+
+
+@given(left=clocks, right=clocks)
+def test_compare_agrees_with_leq(left, right):
+    relation = vc_compare(left, right)
+    if relation in (BEFORE, EQUAL):
+        assert vc_leq(left, right)
+    if relation in (AFTER, EQUAL):
+        assert vc_leq(right, left)
+    if relation == CONCURRENT:
+        assert not vc_leq(left, right) and not vc_leq(right, left)
+
+
+@given(a=clocks, b=clocks, c=clocks)
+def test_leq_is_transitive(a, b, c):
+    if vc_leq(a, b) and vc_leq(b, c):
+        assert vc_leq(a, c)
+
+
+@given(clock=clocks)
+def test_equal_means_pointwise_equal(clock):
+    assert vc_compare(clock, dict(clock)) == EQUAL
+    # Zero-count entries are equivalent to absence.
+    padded = dict(clock)
+    padded[(99, 99)] = 0
+    assert vc_compare(clock, padded) == EQUAL
+
+
+@given(clock=clocks, keep=st.sets(streams, max_size=4))
+def test_restrict_projects_and_never_invents(clock, keep):
+    projected = vc_restrict(clock, keep)
+    assert set(projected) <= keep
+    assert all(projected[s] == clock[s] for s in projected)
+    assert vc_leq(projected, clock)
+    assert vc_restrict(clock, None) == clock

@@ -1,0 +1,184 @@
+"""Hypothesis liveness properties of the hold-back pipelines.
+
+The guarantee-specific unit tests pin *safety* (never release early);
+these properties pin *liveness* under churn: whatever subset of a
+workload actually reaches a subscriber (joins mid-stream, loses
+arbitrary messages to a churned-away publisher, sees any arrival
+interleaving, carries any causal dependency graph), the pipeline must
+
+* release every offered frame exactly once (no duplicate release), and
+* end up empty after the stall watchdog plus the end-of-run flush
+  (no permanent stall).
+"""
+
+import heapq
+import itertools
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ordering.plan import OrderingPlan
+from repro.ordering.spec import LEVELS, parse_ordering
+
+
+class FakeClock:
+    def __init__(self):
+        self._now = 0.0
+        self._timers = []
+        self._seq = itertools.count()
+
+    def schedule(self, delay, callback, *args):
+        assert delay >= 0.0
+        heapq.heappush(
+            self._timers,
+            (self._now + delay, next(self._seq), callback, args),
+        )
+
+    def advance(self, until):
+        while self._timers and self._timers[0][0] <= until:
+            t, _, callback, args = heapq.heappop(self._timers)
+            self._now = t
+            callback(*args)
+        self._now = until
+
+
+class FakeBroker:
+    def __init__(self, node, clock):
+        self.node = node
+        self._sim = clock
+        self.delivered = []
+
+    def deliver_frame(self, frame):
+        self.delivered.append(frame.msg_id)
+        return True
+
+
+@st.composite
+def churn_worlds(draw):
+    """A workload, which of it survives churn, and its arrival order.
+
+    ``deps[i]`` lists earlier messages the publisher of message *i* had
+    delivered before publishing — the raw material of causal vector
+    clocks. Messages missing from ``arrival`` model a churned-away
+    publisher whose tail never reaches this subscriber; arrival being a
+    suffix-biased subset models a subscriber that joined mid-stream.
+    """
+    num_streams = draw(st.integers(min_value=1, max_value=3))
+    counts = [
+        draw(st.integers(min_value=1, max_value=4)) for _ in range(num_streams)
+    ]
+    messages = [
+        (origin, index)
+        for origin in range(num_streams)
+        for index in range(counts[origin])
+    ]
+    deps = []
+    for i in range(len(messages)):
+        if i == 0:
+            deps.append([])
+        else:
+            deps.append(
+                draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=i - 1),
+                        unique=True,
+                        max_size=3,
+                    )
+                )
+            )
+    arrival_set = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(messages) - 1),
+            unique=True,
+            min_size=1,
+            max_size=len(messages),
+        )
+    )
+    arrival = draw(st.permutations(arrival_set))
+    return counts, messages, deps, list(arrival)
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@settings(max_examples=60, deadline=None)
+@given(world=churn_worlds())
+def test_no_permanent_stall_and_no_duplicate_release(level, world):
+    counts, messages, deps, arrival = world
+    plan = OrderingPlan(
+        parse_ordering(level), stall_timeout=1.0, total_hold=0.5
+    )
+    clock = FakeClock()
+    broker = FakeBroker(99, clock)
+    pipeline = plan.pipeline_for(broker)
+
+    # Stamp the whole workload in publish order, threading the drawn
+    # causal-delivery graph through the publishers' observed clocks.
+    frames = []
+    for msg_index, (origin, _) in enumerate(messages):
+        for dep_index in deps[msg_index]:
+            dep = frames[dep_index]
+            plan.note_delivery(origin, dep, dep.order_tag)
+        frame = SimpleNamespace(
+            msg_id=msg_index + 1, topic=0, origin=origin, order_tag=None
+        )
+        frame.order_tag = plan.stamp(frame)
+        frames.append(frame)
+
+    offered = [frames[i] for i in arrival]
+    for frame in offered:
+        pipeline.offer(frame)
+    # Far past any stall-watchdog chain, then the end-of-run drain.
+    clock.advance(1000.0)
+    pipeline.flush()
+
+    expected = sorted(frame.msg_id for frame in offered)
+    assert sorted(broker.delivered) == expected  # exactly-once, no loss
+    assert len(broker.delivered) == len(set(broker.delivered))
+    assert pipeline.held_count() == 0
+    counters = plan.perf_counters()
+    assert counters["ordering.releases"] == float(len(offered))
+    assert counters["ordering.held_at_end"] == 0.0
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@settings(max_examples=30, deadline=None)
+@given(world=churn_worlds())
+def test_join_leave_rejoin_subscriber_still_drains(level, world):
+    """A second pipeline that joins after the stream started (fresh
+    baselines mid-history) must drain just like the first."""
+    counts, messages, deps, arrival = world
+    plan = OrderingPlan(
+        parse_ordering(level), stall_timeout=1.0, total_hold=0.5
+    )
+    clock = FakeClock()
+    early = FakeBroker(1, clock)
+    late = FakeBroker(2, clock)
+    early_pipe = plan.pipeline_for(early)
+
+    frames = []
+    for msg_index, (origin, _) in enumerate(messages):
+        for dep_index in deps[msg_index]:
+            dep = frames[dep_index]
+            plan.note_delivery(origin, dep, dep.order_tag)
+        frame = SimpleNamespace(
+            msg_id=msg_index + 1, topic=0, origin=origin, order_tag=None
+        )
+        frame.order_tag = plan.stamp(frame)
+        frames.append(frame)
+
+    offered = [frames[i] for i in arrival]
+    half = len(offered) // 2
+    for frame in offered[:half]:
+        early_pipe.offer(frame)
+    # The late subscriber joins now: it only ever sees the tail.
+    late_pipe = plan.pipeline_for(late)
+    for frame in offered[half:]:
+        early_pipe.offer(frame)
+        late_pipe.offer(frame)
+    clock.advance(1000.0)
+    plan.flush()
+
+    assert sorted(early.delivered) == sorted(f.msg_id for f in offered)
+    assert sorted(late.delivered) == sorted(f.msg_id for f in offered[half:])
+    assert len(late.delivered) == len(set(late.delivered))
+    assert plan.held_count() == 0

@@ -1,0 +1,94 @@
+"""Spec parsing and config/CLI validation of the ordering directive."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.ordering import LEVELS, OrderingSpec, parse_ordering
+from repro.util.errors import ConfigurationError
+
+
+# ---------------------------------------------------------------------------
+# parse_ordering
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("level", LEVELS)
+def test_bare_level_covers_every_topic(level):
+    spec = parse_ordering(level)
+    assert spec.level == level
+    assert spec.topics is None
+    assert spec.covers(0) and spec.covers(999)
+    assert spec.describe() == level
+
+
+def test_topic_list_restricts_coverage():
+    spec = parse_ordering("fifo:2,5")
+    assert spec.topics == frozenset({2, 5})
+    assert spec.covers(2) and spec.covers(5)
+    assert not spec.covers(0)
+    assert spec.describe() == "fifo:2,5"
+
+
+def test_whitespace_is_tolerated():
+    assert parse_ordering("  causal : 1 , 3 ") == OrderingSpec(
+        level="causal", topics=frozenset({1, 3})
+    )
+
+
+def test_unknown_level_names_the_valid_levels():
+    with pytest.raises(ConfigurationError) as excinfo:
+        parse_ordering("lexicographic")
+    message = str(excinfo.value)
+    assert "lexicographic" in message
+    for level in LEVELS:
+        assert level in message
+
+
+@pytest.mark.parametrize("text", ["", "   ", None, 7])
+def test_non_string_or_empty_specs_are_rejected(text):
+    with pytest.raises(ConfigurationError):
+        parse_ordering(text)
+
+
+@pytest.mark.parametrize("text", ["fifo:", "total:,", "causal:1,,2"])
+def test_empty_topic_lists_are_rejected(text):
+    with pytest.raises(ConfigurationError):
+        parse_ordering(text)
+
+
+def test_non_integer_topics_are_rejected():
+    with pytest.raises(ConfigurationError) as excinfo:
+        parse_ordering("fifo:1,track-updates")
+    assert "track-updates" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# Eager validation through ExperimentConfig and the CLI
+# ---------------------------------------------------------------------------
+def test_config_accepts_valid_ordering():
+    config = ExperimentConfig(ordering="causal:0")
+    assert config.ordering == "causal:0"
+
+
+def test_config_rejects_unknown_ordering_level_at_build_time():
+    with pytest.raises(ConfigurationError) as excinfo:
+        ExperimentConfig(ordering="alphabetical")
+    message = str(excinfo.value)
+    for level in LEVELS:
+        assert level in message
+
+
+def test_cli_threads_ordering_into_the_config():
+    from repro.cli import _config_from, build_parser
+
+    args = build_parser().parse_args(
+        ["compare", "--ordering", "total:0", "--duration", "5"]
+    )
+    config = _config_from(args)
+    assert config.ordering == "total:0"
+
+
+def test_cli_rejects_unknown_ordering_level():
+    from repro.cli import _config_from, build_parser
+
+    args = build_parser().parse_args(["compare", "--ordering", "bogus"])
+    with pytest.raises(ConfigurationError):
+        _config_from(args)
